@@ -1,0 +1,1 @@
+bench/util.ml: Casper_analysis Casper_codegen Casper_common Casper_core Casper_ir Casper_suites Casper_synth Casper_vcgen Fmt Hashtbl List Mapreduce Minijava Option String

@@ -1,0 +1,124 @@
+(** Shared machinery for the experiment harness: cached translation of
+    benchmarks, workload materialization, and per-fragment performance
+    runs on the simulated cluster. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module Cegis = Casper_synth.Cegis
+module Casper = Casper_core.Casper
+module Runner = Casper_codegen.Runner
+module Vc = Casper_vcgen.Vc
+module Value = Casper_common.Value
+module Rng = Casper_common.Rng
+module Cluster = Mapreduce.Cluster
+module T = Casper_common.Tablefmt
+
+let bench_config = { Cegis.default_config with Cegis.max_candidates = 60_000 }
+
+(* translation cache: synthesis runs once per benchmark across all
+   experiments *)
+let cache : (string, Casper.report) Hashtbl.t = Hashtbl.create 64
+
+let translate (b : Casper_suites.Suite.benchmark) : Casper.report =
+  match Hashtbl.find_opt cache b.name with
+  | Some r -> r
+  | None ->
+      let r =
+        Casper.translate_source ~config:bench_config ~suite:b.suite
+          ~benchmark:b.name b.source
+      in
+      Hashtbl.replace cache b.name r;
+      r
+
+let find_translation (b : Casper_suites.Suite.benchmark) (frag_id : string) :
+    Casper.translation =
+  let r = translate b in
+  List.find
+    (fun (t : Casper.translation) ->
+      String.equal t.Casper.frag.F.frag_id frag_id)
+    r.Casper.translations
+
+(** Materialize a workload sample: the parameter environment for the
+    benchmark's methods at ~[n] records. *)
+let workload ?(seed = 2024) (b : Casper_suites.Suite.benchmark) ?n () :
+    Minijava.Interp.env =
+  let n = Option.value n ~default:b.workload.Casper_suites.Suite.sample_n in
+  b.workload.Casper_suites.Suite.gen (Rng.create seed) ~n
+
+type frag_perf = {
+  frag_id : string;
+  seq_s : float;
+  mr_s : float;
+  agree : bool;  (** translated outputs match the sequential run *)
+  run : Mapreduce.Engine.run;
+}
+
+(** Run one translated fragment and its sequential original on a
+    workload environment. *)
+let run_fragment ~cluster ~scale (report : Casper.report)
+    (t : Casper.translation) (env : Minijava.Interp.env) : frag_perf option =
+  match t.Casper.survivors with
+  | [] -> None
+  | best :: _ -> (
+      try
+        let prog = report.Casper.program in
+        let frag = t.Casper.frag in
+        let entry = Vc.entry_of_params prog frag env in
+        let passes = 1 in
+        let seq_outputs, seq_s =
+          Runner.run_sequential ~scale ~passes prog frag entry
+        in
+        let r =
+          Runner.run_summary ~cluster ~scale prog frag entry
+            best.Cegis.summary
+        in
+        Some
+          {
+            frag_id = frag.F.frag_id;
+            seq_s;
+            mr_s = r.Runner.time_s;
+            agree = Runner.outputs_agree frag seq_outputs r.Runner.outputs;
+            run = r.Runner.run;
+          }
+      with _ -> None)
+
+type bench_perf = {
+  name : string;
+  suite : string;
+  speedup : float;
+  frags : frag_perf list;
+  all_agree : bool;
+}
+
+(** Benchmark-level performance: total sequential vs total translated
+    time over all translated fragments, times the workload's pass
+    count. *)
+let run_benchmark ?(cluster = Cluster.spark) ?n
+    (b : Casper_suites.Suite.benchmark) : bench_perf option =
+  let report = translate b in
+  let env = workload b ?n () in
+  let sample =
+    Option.value n ~default:b.workload.Casper_suites.Suite.sample_n
+  in
+  let scale = Casper_suites.Suite.scale_of b ~sample in
+  let frags =
+    List.filter_map
+      (fun t -> run_fragment ~cluster ~scale report t env)
+      report.Casper.translations
+  in
+  if List.is_empty frags then None
+  else
+    let passes = float_of_int b.workload.Casper_suites.Suite.passes in
+    let seq = passes *. List.fold_left (fun a f -> a +. f.seq_s) 0.0 frags in
+    let mr = passes *. List.fold_left (fun a f -> a +. f.mr_s) 0.0 frags in
+    Some
+      {
+        name = b.name;
+        suite = b.suite;
+        speedup = seq /. mr;
+        frags;
+        all_agree = List.for_all (fun f -> f.agree) frags;
+      }
+
+let section title =
+  Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '=')

@@ -1,0 +1,1 @@
+bin/casperc.ml: Arg Casper_analysis Casper_common Casper_core Casper_ir Casper_synth Cmd Cmdliner Filename Fmt List Minijava String Term Vc_pp

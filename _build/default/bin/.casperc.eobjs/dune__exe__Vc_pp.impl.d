@@ -1,0 +1,1 @@
+bin/vc_pp.ml: Casper_analysis Casper_vcgen

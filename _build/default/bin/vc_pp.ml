@@ -1,0 +1,5 @@
+(** Verbose printing of a fragment's verification-condition shape for the
+    CLI. *)
+
+let pp ppf (frag : Casper_analysis.Fragment.t) =
+  Casper_vcgen.Vc.pp_clauses ppf frag

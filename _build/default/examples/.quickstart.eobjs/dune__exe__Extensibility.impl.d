@@ -1,0 +1,1 @@
+examples/extensibility.ml: Casper_analysis Casper_codegen Casper_ir Casper_suites Casper_synth Fmt Fold_ir List Minijava String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Casper_analysis Casper_codegen Casper_common Casper_core Casper_ir Casper_suites Casper_synth Casper_vcgen Fmt List Mapreduce Option

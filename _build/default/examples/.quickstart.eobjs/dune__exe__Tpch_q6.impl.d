@@ -1,0 +1,1 @@
+examples/tpch_q6.ml: Casper_codegen Casper_common Casper_core Casper_ir Casper_suites Casper_synth Casper_vcgen Float Fmt List Mapreduce Tpch

@@ -1,0 +1,76 @@
+(** Dynamic tuning (paper §5.2, §7.4): Casper generates several
+    semantically-equivalent translations of StringMatch whose relative
+    cost depends on how often the keywords occur; the generated runtime
+    monitor samples the first values of the input, estimates the emit
+    probabilities, and picks the cheapest plan — a different one on
+    skewed vs unskewed data.
+
+    Run with: [dune exec examples/dynamic_tuning.exe] *)
+
+module Casper = Casper_core.Casper
+module Cegis = Casper_synth.Cegis
+module Monitor = Casper_codegen.Monitor
+module Runner = Casper_codegen.Runner
+module Value = Casper_common.Value
+module F = Casper_analysis.Fragment
+
+let () =
+  let b = Casper_suites.Registry.find_benchmark "StringMatch" in
+  let prog = Minijava.Parser.parse_program b.source in
+  let frag =
+    List.hd
+      (Casper_analysis.Analyze.fragments_of_program prog ~suite:"example"
+         ~benchmark:"StringMatch")
+  in
+  let outcome =
+    Cegis.find_summary
+      ~config:
+        {
+          Cegis.default_config with
+          Cegis.max_candidates = 60_000;
+          max_solutions = 64;
+          explore_all = true;
+        }
+      prog frag
+  in
+  Fmt.pr "%d verified summaries synthesized; %d kept after cost pruning@.@."
+    (List.length outcome.Cegis.solutions)
+    (List.length outcome.Cegis.solutions);
+  let candidates =
+    List.filteri (fun i _ -> i < 2)
+      (List.map (fun s -> s.Cegis.summary) outcome.Cegis.solutions)
+  in
+  List.iteri
+    (fun i s -> Fmt.pr "candidate %d:@.  %a@." i Casper_ir.Lang.pp_summary s)
+    candidates;
+  Fmt.pr "@.";
+  List.iter
+    (fun p ->
+      let rng = Casper_common.Rng.create 5 in
+      let words =
+        Casper_suites.Workload.match_words rng ~n:8000 ~key1:"hello"
+          ~key2:"world" ~p1:(p /. 2.0) ~p2:(p /. 2.0)
+      in
+      let env =
+        [
+          ("words", words);
+          ("key1", Value.Str "hello");
+          ("key2", Value.Str "world");
+        ]
+      in
+      let entry = Casper_vcgen.Vc.entry_of_params prog frag env in
+      let sample =
+        List.filteri (fun i _ -> i < Monitor.sample_k) (Value.as_list words)
+      in
+      let choice =
+        Monitor.choose prog frag entry candidates ~n:750_000_000.0 sample
+      in
+      Fmt.pr
+        "match probability %4.0f%%: monitor estimates %s, runs candidate %d@."
+        (p *. 100.0)
+        (String.concat ", "
+           (List.map
+              (fun (g, pr) -> Fmt.str "P[%s]=%.2f" g pr)
+              choice.Monitor.estimate.Monitor.guard_probs))
+        choice.Monitor.chosen)
+    [ 0.0; 0.5; 0.95 ]

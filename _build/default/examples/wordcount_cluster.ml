@@ -1,0 +1,52 @@
+(** WordCount across all three target frameworks.
+
+    Translates the sequential Java WordCount once, then executes the
+    generated dataflow under the Spark, Flink and Hadoop cluster
+    profiles, showing both the data-volume metrics the engine accounts
+    and how the framework profiles change the modeled runtime (§7.2:
+    Spark > Flink > Hadoop).
+
+    Run with: [dune exec examples/wordcount_cluster.exe] *)
+
+module Casper = Casper_core.Casper
+module Cegis = Casper_synth.Cegis
+module Runner = Casper_codegen.Runner
+module Value = Casper_common.Value
+module Engine = Mapreduce.Engine
+
+let () =
+  let b = Casper_suites.Registry.find_benchmark "WordCount" in
+  let report =
+    Casper.translate_source ~suite:"example" ~benchmark:"WordCount" b.source
+  in
+  let t = List.hd report.Casper.translations in
+  let best = List.hd t.Casper.survivors in
+  Fmt.pr "Summary: %a@.@." Casper_ir.Lang.pp_summary best.Cegis.summary;
+
+  let rng = Casper_common.Rng.create 7 in
+  let env =
+    [ ("words", Casper_suites.Workload.words rng ~n:8000 ~vocab:500 ~skew:1.0) ]
+  in
+  let entry =
+    Casper_vcgen.Vc.entry_of_params report.Casper.program t.Casper.frag env
+  in
+  let scale = 750_000_000.0 /. 8000.0 in
+  let seq_out, seq_s =
+    Runner.run_sequential ~scale report.Casper.program t.Casper.frag entry
+  in
+  Fmt.pr "sequential (1 core): %.1f s (modeled, 75GB-scale workload)@.@."
+    seq_s;
+  List.iter
+    (fun cluster ->
+      let r =
+        Runner.run_summary ~cluster ~scale report.Casper.program t.Casper.frag
+          entry best.Cegis.summary
+      in
+      assert (Runner.outputs_agree t.Casper.frag seq_out r.Runner.outputs);
+      Fmt.pr "%-8s %6.1f s  (%.1fx)   emitted %s MB, shuffled %s MB (sample)@."
+        cluster.Mapreduce.Cluster.name r.Runner.time_s
+        (seq_s /. r.Runner.time_s)
+        (Casper_common.Tablefmt.mb (Engine.total_emitted r.Runner.run))
+        (Casper_common.Tablefmt.mb (Engine.total_shuffled r.Runner.run)))
+    [ Mapreduce.Cluster.spark; Mapreduce.Cluster.flink; Mapreduce.Cluster.hadoop ];
+  Fmt.pr "@.Generated Hadoop code:@.%s@." (Option.get t.Casper.hadoop_src)

@@ -1,0 +1,1 @@
+lib/analysis/analyze.ml: Casper_common Casper_ir Fmt Fragment List Minijava Stdlib String

@@ -1,0 +1,1 @@
+lib/analysis/fragment.ml: Casper_common Casper_ir List Minijava

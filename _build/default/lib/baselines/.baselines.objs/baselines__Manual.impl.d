@@ -1,0 +1,1 @@
+lib/baselines/manual.ml: Casper_common List Mapreduce

@@ -1,0 +1,1 @@
+lib/baselines/mold.ml: Casper_analysis Casper_common List Mapreduce Minijava Option String

@@ -1,0 +1,1 @@
+lib/baselines/sparktut.ml: Casper_common Mapreduce

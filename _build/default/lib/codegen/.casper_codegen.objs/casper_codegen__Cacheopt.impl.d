@@ -1,0 +1,1 @@
+lib/codegen/cacheopt.ml: Mapreduce

@@ -1,0 +1,1 @@
+lib/codegen/compile.ml: Array Casper_analysis Casper_common Casper_ir Casper_synth Casper_vcgen Casper_verify Fmt List Mapreduce Minijava

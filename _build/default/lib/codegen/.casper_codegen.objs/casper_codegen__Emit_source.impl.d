@@ -1,0 +1,1 @@
+lib/codegen/emit_source.ml: Buffer Casper_analysis Casper_common Casper_ir Fmt List String

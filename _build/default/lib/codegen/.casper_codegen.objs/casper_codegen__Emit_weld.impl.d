@@ -1,0 +1,1 @@
+lib/codegen/emit_weld.ml: Casper_ir Fmt List String

@@ -1,0 +1,1 @@
+lib/codegen/monitor.ml: Casper_analysis Casper_common Casper_cost Casper_ir Casper_synth Casper_verify Float Fmt Hashtbl List Minijava

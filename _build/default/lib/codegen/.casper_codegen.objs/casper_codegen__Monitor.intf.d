@@ -1,0 +1,1 @@
+lib/codegen/monitor.mli: Casper_analysis Casper_common Casper_cost Casper_ir Minijava

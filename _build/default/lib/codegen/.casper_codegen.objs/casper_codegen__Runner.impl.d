@@ -1,0 +1,1 @@
+lib/codegen/runner.ml: Casper_analysis Casper_common Casper_ir Casper_vcgen Compile List Mapreduce Minijava

@@ -1,0 +1,1 @@
+lib/codegen/runner.mli: Casper_analysis Casper_common Casper_ir Mapreduce Minijava

@@ -1,0 +1,163 @@
+(** Compiling verified program summaries into executable dataflow plans.
+
+    This is the executable half of Casper's code generator (§6.3): the
+    same summary that is pretty-printed as Spark/Hadoop/Flink source
+    (see {!Emit_source}) is compiled here into a {!Mapreduce.Plan.t} of
+    OCaml closures so it actually runs on the engine. API variants are
+    selected from λ types exactly as Appendix C's translation rules do —
+    and, as §6.3 requires, [reduceByKey] is used only when the reduction
+    is commutative-associative, with the safe [groupByKey] fold
+    otherwise. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module Eval = Casper_ir.Eval
+module Value = Casper_common.Value
+module Plan = Mapreduce.Plan
+
+exception Codegen_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Codegen_error s)) fmt
+
+(** Compile λm into a flatMap closure. [env] carries the fragment's free
+    scalars (Casper broadcasts these in the generated glue code). *)
+let compile_lam_m (env : Eval.env) (lm : Ir.lam_m) :
+    Value.t -> Value.t list =
+ fun record ->
+  match Eval.apply_lam_m env lm record with
+  | `KV kvs -> List.map (fun (k, v) -> Value.Tuple [ k; v ]) kvs
+  | `V vs -> vs
+
+let compile_lam_r (env : Eval.env) (lr : Ir.lam_r) :
+    Value.t -> Value.t -> Value.t =
+ fun a b -> Eval.apply_lam_r env lr a b
+
+(** Is the λr of this reduce node commutative-associative? Checked the
+    same way the compiler pipeline does before codegen. *)
+let reduce_is_ca (env : Eval.env) (tenv : Casper_ir.Infer.tenv)
+    (record_ty : string -> Ir.ty) (src : Ir.node) (lr : Ir.lam_r) : bool =
+  match Casper_ir.Infer.infer_node tenv record_ty src with
+  | `KVs (_, vty) | `Plain vty | `Recs vty -> (
+      match Casper_verify.Verifier.reducer_props env lr vty with
+      | `Comm_assoc -> true
+      | `Not_comm_assoc -> false)
+  | exception Casper_ir.Infer.Ill_typed _ -> false
+
+(** Compile a pipeline node to a plan. *)
+let rec compile_node (env : Eval.env) (tenv : Casper_ir.Infer.tenv)
+    (record_ty : string -> Ir.ty) (n : Ir.node) : Plan.t =
+  match n with
+  | Ir.Data d -> Plan.data d
+  | Ir.Map (src, lm) ->
+      let open Plan in
+      compile_node env tenv record_ty src
+      |>> flat_map ~label:"flatMapToPair" (compile_lam_m env lm)
+  | Ir.Reduce (src, lr) ->
+      let open Plan in
+      let plan = compile_node env tenv record_ty src in
+      let f = compile_lam_r env lr in
+      let keyed =
+        match Casper_ir.Infer.infer_node tenv record_ty src with
+        | `KVs _ -> true
+        | _ -> false
+        | exception Casper_ir.Infer.Ill_typed _ -> true
+      in
+      let ca = reduce_is_ca env tenv record_ty src lr in
+      if keyed then
+        if ca then plan |>> reduce_by_key ~comm_assoc:true f
+        else
+          (* safe translation: group, then fold each group sequentially *)
+          plan
+          |>> group_by_key ~label:"groupByKey" ()
+          |>> map_values ~label:"foldValues" (fun v ->
+                  match v with
+                  | Value.List (v0 :: rest) -> List.fold_left f v0 rest
+                  | Value.List [] -> err "empty group"
+                  | _ -> err "groupByKey produced non-list")
+      else plan |>> global_reduce ~comm_assoc:ca f
+  | Ir.Join (a, b) ->
+      let open Plan in
+      compile_node env tenv record_ty a
+      |>> join_with (compile_node env tenv record_ty b)
+
+(** Rebuild the fragment's output variables from a plan's output records
+    (mirrors {!Casper_ir.Eval.apply_summary}'s extraction semantics). *)
+let materialize (s : Ir.summary) (shapes : (string * Eval.out_shape) list)
+    (init : Eval.env) (output : Value.t list) : (string * Value.t) list =
+  let kvs () =
+    List.map
+      (fun r ->
+        match r with
+        | Value.Tuple [ k; v ] -> (k, v)
+        | v -> err "expected key-value output, got %s" (Value.to_string v))
+      output
+  in
+  List.map
+    (fun (var, ex) ->
+      let init_v () =
+        match List.assoc_opt var init with
+        | Some v -> v
+        | None -> err "no initial value for %s" var
+      in
+      let shape =
+        match List.assoc_opt var shapes with
+        | Some s -> s
+        | None -> Eval.Scalar
+      in
+      let value =
+        match (ex, shape) with
+        | Ir.AtKey k, _ -> (
+            match
+              List.find_opt (fun (k', _) -> Value.equal k k') (kvs ())
+            with
+            | Some (_, v) -> v
+            | None -> init_v ())
+        | Ir.Whole, Eval.Arr ->
+            let arr = Array.of_list (Value.as_list (init_v ())) in
+            List.iter
+              (fun (k, v) ->
+                match k with
+                | Value.Int i when i >= 0 && i < Array.length arr ->
+                    arr.(i) <- v
+                | _ -> err "bad array key")
+              (kvs ());
+            Value.List (Array.to_list arr)
+        | Ir.Whole, _ ->
+            Value.List
+              (List.sort Value.compare
+                 (List.map (fun (k, v) -> Value.Tuple [ k; v ]) (kvs ())))
+        | Ir.Proj i, _ -> (
+            match output with
+            | [] -> init_v ()
+            | [ v ] -> (
+                match i with
+                | None -> v
+                | Some idx -> (
+                    match v with
+                    | Value.Tuple xs when idx < List.length xs ->
+                        List.nth xs idx
+                    | _ -> err "projection of non-tuple"))
+            | _ -> err "global reduction yielded several records")
+      in
+      (var, value))
+    s.Ir.bindings
+
+type translated = {
+  plan : Plan.t;
+  summary : Ir.summary;
+  read_outputs : Value.t list -> (string * Value.t) list;
+}
+
+(** Compile a verified summary for a fragment, against an entry
+    environment (free scalars + output initial values). *)
+let compile (prog : Minijava.Ast.program) (frag : F.t) (entry : Eval.env)
+    (s : Ir.summary) : translated =
+  let tenv = Casper_synth.Cegis.tenv_of_frag prog frag in
+  let record_ty = Casper_synth.Lift.record_ty_of frag in
+  let plan = compile_node entry tenv record_ty s.Ir.pipeline in
+  let shapes = Casper_vcgen.Vc.shapes_of frag in
+  {
+    plan;
+    summary = s;
+    read_outputs = (fun out -> materialize s shapes entry out);
+  }

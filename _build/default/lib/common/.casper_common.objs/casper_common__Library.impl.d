@@ -1,0 +1,1 @@
+lib/common/library.ml: Float Fmt List Stdlib String Value

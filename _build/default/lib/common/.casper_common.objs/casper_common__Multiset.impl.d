@@ -1,0 +1,1 @@
+lib/common/multiset.ml: Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/common/tablefmt.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/common/value.ml: Float Fmt List Stdlib String

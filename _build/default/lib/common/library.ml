@@ -1,0 +1,116 @@
+(** Semantic models of external library methods (paper §6.1, Appendix B).
+
+    Casper supports library methods "by modeling their semantics explicitly
+    using the IR". Here each supported method is a named OCaml denotation
+    over {!Value.t}; the MiniJava interpreter and the IR evaluator both
+    dispatch through this table, so a summary that calls [Math.min] means
+    the same thing on both sides of a verification check.
+
+    Dates are modeled as integers (a monotone day count), exactly enough
+    for the [before]/[after] comparisons TPC-H queries need. *)
+
+open Value
+
+exception Unknown_method of string
+
+(** Parse "YYYY-MM-DD" into a monotone day count. *)
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      try (int_of_string y * 372) + (int_of_string m * 31) + int_of_string d
+      with _ -> raise (Unknown_method ("bad date literal: " ^ s)))
+  | _ -> raise (Unknown_method ("bad date literal: " ^ s))
+
+let num2 f g a b =
+  match (a, b) with
+  | Int x, Int y -> Int (f x y)
+  | (Float _ | Int _), (Float _ | Int _) -> Float (g (as_float a) (as_float b))
+  | _ -> terr "numeric arguments expected"
+
+let num1 f g = function
+  | Int x -> Int (f x)
+  | Float x -> Float (g x)
+  | v -> terr "numeric argument expected, got %a" pp v
+
+(** [apply name args] evaluates library method [name]. *)
+let apply name (args : t list) : t =
+  match (name, args) with
+  | "Math.min", [ a; b ] -> num2 min Float.min a b
+  | "Math.max", [ a; b ] -> num2 max Float.max a b
+  | "Math.abs", [ a ] -> num1 abs Float.abs a
+  | "Math.sqrt", [ a ] -> Float (sqrt (as_float a))
+  | "Math.pow", [ a; b ] -> Float (Float.pow (as_float a) (as_float b))
+  | "Math.exp", [ a ] -> Float (exp (as_float a))
+  | "Math.log", [ a ] -> Float (log (as_float a))
+  | "Math.floor", [ a ] -> Float (floor (as_float a))
+  | "Math.ceil", [ a ] -> Float (ceil (as_float a))
+  | "Math.round", [ a ] -> Int (int_of_float (Float.round (as_float a)))
+  | "Math.signum", [ a ] ->
+      Float (Float.of_int (Stdlib.compare (as_float a) 0.0))
+  | "Integer.parseInt", [ Str s ] -> Int (int_of_string s)
+  | "Double.parseDouble", [ Str s ] -> Float (float_of_string s)
+  | "Util.parseDate", [ Str s ] -> Int (parse_date s)
+  | "String.equals", [ Str a; Str b ] -> Bool (String.equal a b)
+  | "String.equalsIgnoreCase", [ Str a; Str b ] ->
+      Bool (String.equal (String.lowercase_ascii a) (String.lowercase_ascii b))
+  | "String.length", [ Str a ] -> Int (String.length a)
+  | "String.contains", [ Str a; Str b ] ->
+      let n = String.length b in
+      let rec go i =
+        if i + n > String.length a then false
+        else String.equal (String.sub a i n) b || go (i + 1)
+      in
+      Bool (n = 0 || go 0)
+  | "String.startsWith", [ Str a; Str b ] ->
+      Bool
+        (String.length b <= String.length a
+        && String.equal (String.sub a 0 (String.length b)) b)
+  | "String.toLowerCase", [ Str a ] -> Str (String.lowercase_ascii a)
+  | "String.toUpperCase", [ Str a ] -> Str (String.uppercase_ascii a)
+  | "String.charAt", [ Str a; Int i ] -> Str (String.make 1 a.[i])
+  | "String.isEmpty", [ Str a ] -> Bool (String.length a = 0)
+  | "String.compareTo", [ Str a; Str b ] -> Int (Stdlib.compare a b)
+  | "String.split", [ Str a; Str sep ] when String.length sep = 1 ->
+      List (List.map (fun s -> Str s) (String.split_on_char sep.[0] a))
+  | "Date.before", [ Int a; Int b ] -> Bool (a < b)
+  | "Date.after", [ Int a; Int b ] -> Bool (a > b)
+  | _ ->
+      raise
+        (Unknown_method
+           (Fmt.str "%s/%d" name (Stdlib.List.length args)))
+
+(** Methods known to the IR / grammar generator, with arities. Methods not
+    in this table make a fragment untranslatable (paper: Fiji failures due
+    to unmodeled ImageJ methods). *)
+let known : (string * int) list =
+  [
+    ("Math.min", 2);
+    ("Math.max", 2);
+    ("Math.abs", 1);
+    ("Math.sqrt", 1);
+    ("Math.pow", 2);
+    ("Math.exp", 1);
+    ("Math.log", 1);
+    ("Math.floor", 1);
+    ("Math.ceil", 1);
+    ("Math.round", 1);
+    ("Math.signum", 1);
+    ("Integer.parseInt", 1);
+    ("Double.parseDouble", 1);
+    ("Util.parseDate", 1);
+    ("String.equals", 2);
+    ("String.equalsIgnoreCase", 2);
+    ("String.length", 1);
+    ("String.contains", 2);
+    ("String.startsWith", 2);
+    ("String.toLowerCase", 1);
+    ("String.toUpperCase", 1);
+    ("String.charAt", 2);
+    ("String.isEmpty", 1);
+    ("String.compareTo", 2);
+    ("String.split", 2);
+    ("Date.before", 2);
+    ("Date.after", 2);
+  ]
+
+let is_known name = List.mem_assoc name known

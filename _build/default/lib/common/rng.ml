@@ -1,0 +1,82 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    Everything in the reproduction that needs randomness — synthetic
+    workload generation, the synthesizer's initial program states, the
+    full verifier's large-domain sampling — draws from one of these so
+    runs are reproducible without touching the global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit int, non-negative *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 (* 2^53 *)
+
+let float_range t lo hi = lo +. (float t *. (hi -. lo))
+let bool t = int t 2 = 0
+
+(** Bernoulli draw with probability [p]. *)
+let bernoulli t p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(** Zipf-like skewed choice over [0, n): rank r with weight 1/(r+1)^s.
+    Used to generate skewed key distributions for the dynamic-tuning
+    experiments (§7.4). *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  let weights =
+    Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let x = float t *. total in
+  let rec go i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0
+
+(** A lowercase ASCII word of length in [min_len, max_len]. *)
+let word t ~min_len ~max_len =
+  let len = int_range t min_len max_len in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))

@@ -1,0 +1,138 @@
+(** Runtime values shared by the MiniJava interpreter, the IR evaluator and
+    the MapReduce engine.
+
+    A single value universe keeps verification honest: a candidate summary
+    is checked by evaluating both the sequential program and the IR
+    pipeline to values of this type and comparing them. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Tuple of t list
+  | List of t list
+  | Struct of string * (string * t) list
+      (** constructor name, field assignments in declaration order *)
+
+let rec compare (a : t) (b : t) : int =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Tuple xs, Tuple ys | List xs, List ys -> compare_list xs ys
+  | Struct (n1, f1), Struct (n2, f2) ->
+      let c = Stdlib.compare n1 n2 in
+      if c <> 0 then c
+      else
+        compare_list (Stdlib.List.map snd f1) (Stdlib.List.map snd f2)
+  | _ -> Stdlib.compare (tag a) (tag b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs' ys'
+
+and tag = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | Bool _ -> 2
+  | Str _ -> 3
+  | Tuple _ -> 4
+  | List _ -> 5
+  | Struct _ -> 6
+
+let equal a b = compare a b = 0
+
+(* Relative tolerance used when comparing summaries that involve floating
+   point: the sequential loop and the MapReduce pipeline may reduce in a
+   different association order. *)
+let float_rel_eps = 1e-6
+
+let rec equal_approx (a : t) (b : t) : bool =
+  match (a, b) with
+  | Float x, Float y ->
+      (match (Float.is_nan x, Float.is_nan y) with
+      | true, true -> true
+      | false, false ->
+          (* bitwise equality first: it also covers infinities, where the
+             difference below would be NaN *)
+          Float.equal x y
+          ||
+          let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+          Float.abs (x -. y) <= float_rel_eps *. scale
+      | _ -> false)
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Tuple xs, Tuple ys | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal_approx xs ys
+  | Struct (n1, f1), Struct (n2, f2) ->
+      String.equal n1 n2
+      && List.length f1 = List.length f2
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal_approx v1 v2)
+           f1 f2
+  | _ -> false
+
+(** Byte-size model used by the cost model (paper §7.4 uses 40 bytes for a
+    String, 10 for a Boolean and 28 for a tuple of two Booleans; we match
+    those constants). *)
+let rec size_of : t -> int = function
+  | Int _ -> 12
+  | Float _ -> 16
+  | Bool _ -> 10
+  | Str s -> 24 + String.length s
+  | Tuple xs | List xs -> 8 + List.fold_left (fun a x -> a + size_of x) 0 xs
+  | Struct (_, fs) -> 8 + List.fold_left (fun a (_, v) -> a + size_of v) 0 fs
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Tuple xs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp) xs
+  | List xs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:comma pp) xs
+  | Struct (n, fs) ->
+      Fmt.pf ppf "%s{%a}" n
+        Fmt.(list ~sep:comma (pair ~sep:(any "=") string pp))
+        fs
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Convenience accessors: raise on type mismatch, which in this codebase
+   indicates a bug in type inference upstream. *)
+exception Type_error of string
+
+let terr fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+let as_int = function Int n -> n | v -> terr "expected int, got %a" pp v
+
+let as_float = function
+  | Float f -> f
+  | Int n -> float_of_int n
+  | v -> terr "expected float, got %a" pp v
+
+let as_bool = function Bool b -> b | v -> terr "expected bool, got %a" pp v
+let as_str = function Str s -> s | v -> terr "expected string, got %a" pp v
+let as_list = function List l -> l | v -> terr "expected list, got %a" pp v
+
+let as_tuple = function
+  | Tuple l -> l
+  | v -> terr "expected tuple, got %a" pp v
+
+let as_struct = function
+  | Struct (n, fs) -> (n, fs)
+  | v -> terr "expected struct, got %a" pp v
+
+let field name v =
+  let _, fs = as_struct v in
+  match List.assoc_opt name fs with
+  | Some x -> x
+  | None -> terr "no field %s in %a" name pp v
+
+let is_numeric = function Int _ | Float _ -> true | _ -> false

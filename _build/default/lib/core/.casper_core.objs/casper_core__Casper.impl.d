@@ -1,0 +1,1 @@
+lib/core/casper.ml: Casper_analysis Casper_codegen Casper_cost Casper_ir Casper_synth Casper_verify Fmt List Minijava Option

@@ -1,0 +1,1 @@
+lib/core/casper.mli: Casper_analysis Casper_ir Casper_synth Format Minijava

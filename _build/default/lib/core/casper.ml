@@ -1,0 +1,135 @@
+(** Casper, end to end (paper Figure 2).
+
+    [translate_program] drives the full compilation pipeline over a
+    MiniJava program: the program analyzer identifies candidate code
+    fragments and builds their search-space descriptions; the summary
+    generator runs the incremental CEGIS search with two-phase
+    verification; verified summaries are cost-pruned, and the code
+    generator produces Spark/Hadoop/Flink source plus executable plans
+    and the runtime monitor data. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module Cegis = Casper_synth.Cegis
+
+type translation = {
+  frag : F.t;
+  outcome : Cegis.outcome;
+  survivors : Cegis.solution list;
+      (** verified summaries that survive static cost dominance pruning
+          (§5.2); several survive only when their relative cost depends
+          on the data *)
+  spark_src : string option;  (** generated source for the best summary *)
+  flink_src : string option;
+  hadoop_src : string option;
+}
+
+type report = {
+  program : Minijava.Ast.program;
+  suite : string;
+  benchmark : string;
+  translations : translation list;
+}
+
+let translated (t : translation) : bool = not (List.is_empty t.survivors)
+
+let failure_reason (t : translation) : string option =
+  match (t.frag.F.unsupported, t.survivors) with
+  | Some r, _ -> Some (F.unsupported_to_string r)
+  | None, [] ->
+      Some
+        (if t.outcome.Cegis.stats.Cegis.timed_out then
+           "synthesis timed out"
+         else "no verifiable summary in the search space")
+  | None, _ -> None
+
+(** Static pruning: drop summaries dominated at every guard-probability
+    assignment by a cheaper verified summary. *)
+let prune_solutions (prog : Minijava.Ast.program) (frag : F.t)
+    (sols : Cegis.solution list) : Cegis.solution list =
+  match sols with
+  | [] | [ _ ] -> sols
+  | _ ->
+      let tenv = Cegis.tenv_of_frag prog frag in
+      let record_ty = Casper_synth.Lift.record_ty_of frag in
+      let probe =
+        match Cegis.make_probes prog frag with p :: _ -> p | [] -> []
+      in
+      let reduce_eps lr vty =
+        match Casper_verify.Verifier.reducer_props probe lr vty with
+        | `Comm_assoc -> 1.0
+        | `Not_comm_assoc -> Casper_cost.Cost.w_csg
+      in
+      let pairs = List.map (fun s -> (s.Cegis.summary, s)) sols in
+      Casper_cost.Cost.prune_dominated tenv record_ty
+        (fun _ -> 1_000_000.0)
+        ~reduce_eps pairs
+      |> List.map snd
+
+let translate_fragment ?(config = Cegis.default_config)
+    (prog : Minijava.Ast.program) (frag : F.t) : translation =
+  let outcome = Cegis.find_summary ~config prog frag in
+  let survivors = prune_solutions prog frag outcome.Cegis.solutions in
+  let best = match survivors with s :: _ -> Some s | [] -> None in
+  let src (f : ?ca:bool -> F.t -> Ir.summary -> string) =
+    Option.map
+      (fun (s : Cegis.solution) ->
+        f ~ca:s.Cegis.comm_assoc frag s.Cegis.summary)
+      best
+  in
+  {
+    frag;
+    outcome;
+    survivors;
+    spark_src = src Casper_codegen.Emit_source.spark;
+    flink_src = src Casper_codegen.Emit_source.flink;
+    hadoop_src = src Casper_codegen.Emit_source.hadoop;
+  }
+
+(** Parse, type-check, analyze and translate a whole benchmark source. *)
+let translate_source ?config ~suite ~benchmark (src : string) : report =
+  let program = Minijava.Parser.parse_program src in
+  Minijava.Typecheck.check_program program;
+  let frags =
+    Casper_analysis.Analyze.fragments_of_program program ~suite ~benchmark
+  in
+  {
+    program;
+    suite;
+    benchmark;
+    translations = List.map (translate_fragment ?config program) frags;
+  }
+
+let translate_program ?config ~suite ~benchmark
+    (program : Minijava.Ast.program) : report =
+  let frags =
+    Casper_analysis.Analyze.fragments_of_program program ~suite ~benchmark
+  in
+  {
+    program;
+    suite;
+    benchmark;
+    translations = List.map (translate_fragment ?config program) frags;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+
+let pp_translation ppf (t : translation) =
+  match failure_reason t with
+  | Some r -> Fmt.pf ppf "@[<v2>%s: NOT TRANSLATED (%s)@]" t.frag.F.frag_id r
+  | None ->
+      let best = List.hd t.survivors in
+      Fmt.pf ppf
+        "@[<v2>%s: translated (%d summaries, %d survive pruning, %d TP \
+         rejections)@,%a@]"
+        t.frag.F.frag_id
+        (List.length t.outcome.Cegis.solutions)
+        (List.length t.survivors)
+        t.outcome.Cegis.stats.Cegis.tp_failures Ir.pp_summary
+        best.Cegis.summary
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>=== %s / %s ===@,%a@]" r.suite r.benchmark
+    (Fmt.list ~sep:Fmt.cut pp_translation)
+    r.translations

@@ -1,0 +1,67 @@
+(** Casper, end to end (paper Figure 2): the public compiler API.
+
+    The typical flow is a single call to {!translate_source}, which runs
+    the program analyzer, the incremental CEGIS summary search with
+    two-phase verification, cost-based pruning, and code generation for
+    the three target frameworks. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module Cegis = Casper_synth.Cegis
+
+(** The result of translating one code fragment. *)
+type translation = {
+  frag : F.t;  (** the analyzed fragment *)
+  outcome : Cegis.outcome;  (** raw synthesis result and statistics *)
+  survivors : Cegis.solution list;
+      (** verified summaries that survive static cost-dominance pruning
+          (§5.2), cheapest first; several survive only when their
+          relative cost depends on the data, in which case the generated
+          runtime monitor picks among them *)
+  spark_src : string option;
+      (** generated Spark source for the best summary (Appendix C) *)
+  flink_src : string option;
+  hadoop_src : string option;
+}
+
+(** A whole-program translation report. *)
+type report = {
+  program : Minijava.Ast.program;
+  suite : string;
+  benchmark : string;
+  translations : translation list;  (** one per identified fragment *)
+}
+
+(** Did this fragment translate (at least one verified summary)? *)
+val translated : translation -> bool
+
+(** Why the fragment failed, in the §7.1 failure taxonomy; [None] when
+    it translated. *)
+val failure_reason : translation -> string option
+
+(** Drop summaries dominated at every guard-probability assignment by a
+    cheaper verified summary (§5.2). *)
+val prune_solutions :
+  Minijava.Ast.program -> F.t -> Cegis.solution list -> Cegis.solution list
+
+(** Translate a single analyzed fragment. *)
+val translate_fragment :
+  ?config:Cegis.config -> Minijava.Ast.program -> F.t -> translation
+
+(** Parse, type-check, analyze and translate MiniJava source text.
+    @raise Minijava.Lexer.Lex_error on lexical errors
+    @raise Minijava.Parser.Parse_error on syntax errors
+    @raise Minijava.Typecheck.Type_error on type errors *)
+val translate_source :
+  ?config:Cegis.config -> suite:string -> benchmark:string -> string -> report
+
+(** Like {!translate_source} for an already-parsed program. *)
+val translate_program :
+  ?config:Cegis.config ->
+  suite:string ->
+  benchmark:string ->
+  Minijava.Ast.program ->
+  report
+
+val pp_translation : Format.formatter -> translation -> unit
+val pp_report : Format.formatter -> report -> unit

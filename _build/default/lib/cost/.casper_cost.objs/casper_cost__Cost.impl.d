@@ -1,0 +1,1 @@
+lib/cost/cost.ml: Casper_ir Float List

@@ -1,0 +1,1 @@
+lib/cost/cost.mli: Casper_ir

@@ -1,0 +1,78 @@
+(** Casper's data-centric cost model (paper §5.1, Eqns 2–4): summary
+    cost is the estimated volume of data generated and shuffled by its
+    stages. Emit probabilities and distinct-key counts are supplied by
+    an {!estimator} — static defaults at compile time, sampled values
+    from the runtime monitor (§5.2). *)
+
+module Ir = Casper_ir.Lang
+module Infer = Casper_ir.Infer
+
+(** The paper's weights: Wm = 1, Wr = 2, Wj = 2; Wcsg = 50 penalizes a
+    reduction that is not commutative-associative (Eqn 3's ϵ). *)
+val w_m : float
+
+val w_r : float
+val w_j : float
+val w_csg : float
+
+type estimator = {
+  prob : Ir.expr option -> float;
+      (** probability that an emit with this guard fires (pᵢ) *)
+  distinct_keys : n_in:float -> float;
+      (** unique keys a keyed reduce produces given its input count *)
+  join_selectivity : float;  (** pj of Eqn 4 *)
+  reduce_eps : Ir.lam_r -> Ir.ty -> float;  (** ϵ(λr) *)
+}
+
+(** Static defaults: unguarded emits fire always, guarded ones with
+    [guard_prob]; distinct keys default to √N. *)
+val static_estimator :
+  ?guard_prob:float ->
+  ?reduce_eps:(Ir.lam_r -> Ir.ty -> float) ->
+  unit ->
+  estimator
+
+type stage_cost = { name : string; cost : float; out_count : float }
+
+exception Untypeable
+
+(** Per-stage costs, composing record counts through the pipeline
+    ([count] of §5.1). [record_ty] gives each dataset's element type,
+    [card] its cardinality. *)
+val stage_costs :
+  Infer.tenv ->
+  (string -> Ir.ty) ->
+  (string -> float) ->
+  estimator ->
+  Ir.node ->
+  stage_cost list
+
+(** Total cost of a summary ([Float.max_float] when untypeable). *)
+val cost_of_summary :
+  Infer.tenv ->
+  (string -> Ir.ty) ->
+  (string -> float) ->
+  estimator ->
+  Ir.summary ->
+  float
+
+(** Static dominance: [a] costs no more than [b] at *every* assignment
+    of guard probabilities (checked at the p=0 and p=1 corners, valid
+    because costs are monotone and linear in each pᵢ). *)
+val dominates :
+  Infer.tenv ->
+  (string -> Ir.ty) ->
+  (string -> float) ->
+  reduce_eps:(Ir.lam_r -> Ir.ty -> float) ->
+  Ir.summary ->
+  Ir.summary ->
+  bool
+
+(** Drop summaries dominated by a cheaper one (§5.2). *)
+val prune_dominated :
+  Infer.tenv ->
+  (string -> Ir.ty) ->
+  (string -> float) ->
+  reduce_eps:(Ir.lam_r -> Ir.ty -> float) ->
+  (Ir.summary * 'a) list ->
+  (Ir.summary * 'a) list

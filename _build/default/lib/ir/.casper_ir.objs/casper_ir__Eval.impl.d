@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Casper_common Float Fmt Lang List

@@ -1,0 +1,1 @@
+lib/ir/infer.ml: Fmt Lang List

@@ -1,0 +1,1 @@
+lib/ir/lang.ml: Casper_common Fmt List

@@ -1,0 +1,271 @@
+(** Evaluator for the IR: the denotational semantics of §2.1.
+
+    [map] concurrently applies λm to every record and unions the emitted
+    multisets; [reduce] groups pairs by key and folds λr over each group
+    (or folds globally when the bag holds plain values); [join] matches
+    pairs on keys. Verification compares these denotations against the
+    MiniJava interpreter. *)
+
+open Lang
+module Value = Casper_common.Value
+module Library = Casper_common.Library
+module Multiset = Casper_common.Multiset
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+type env = (string * Value.t) list
+
+(** A pipeline stage's output: key-value pairs or plain values. Input
+    datasets are [Records]. *)
+type bag =
+  | Records of Value.t list
+  | Pairs of (Value.t * Value.t) list
+  | Vals of Value.t list
+
+let num2 fi ff a b =
+  let open Value in
+  match (a, b) with
+  | Int x, Int y -> Int (fi x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (ff (as_float a) (as_float b))
+  | _ -> err "numeric operands expected"
+
+let eval_binop op a b =
+  let open Value in
+  match op with
+  | Add -> (
+      match (a, b) with
+      | Str x, Str y -> Str (x ^ y)
+      | _ -> num2 ( + ) ( +. ) a b)
+  | Sub -> num2 ( - ) ( -. ) a b
+  | Mul -> num2 ( * ) ( *. ) a b
+  | Div -> (
+      match (a, b) with
+      | Int _, Int 0 -> err "division by zero"
+      | Int x, Int y -> Int (x / y)
+      | _ -> num2 (fun _ _ -> 0) ( /. ) a b)
+  | Mod -> (
+      match (a, b) with
+      | Int _, Int 0 -> err "mod by zero"
+      | Int x, Int y -> Int (x mod y)
+      | _ -> err "mod expects ints")
+  | Lt -> Bool (compare a b < 0)
+  | Le -> Bool (compare a b <= 0)
+  | Gt -> Bool (compare a b > 0)
+  | Ge -> Bool (compare a b >= 0)
+  | Eq -> Bool (equal a b)
+  | Ne -> Bool (not (equal a b))
+  | And -> Bool (as_bool a && as_bool b)
+  | Or -> Bool (as_bool a || as_bool b)
+  | Min -> num2 min Float.min a b
+  | Max -> num2 max Float.max a b
+
+let rec eval_expr (env : env) (e : expr) : Value.t =
+  match e with
+  | CInt n -> Int n
+  | CFloat f -> Float f
+  | CBool b -> Bool b
+  | CStr s -> Str s
+  | Var v -> (
+      match List.assoc_opt v env with
+      | Some x -> x
+      | None -> err "unbound IR variable %s" v)
+  | Unop (Neg, a) -> (
+      match eval_expr env a with
+      | Int n -> Int (-n)
+      | Float f -> Float (-.f)
+      | _ -> err "negation of non-number")
+  | Unop (Not, a) -> Bool (not (Value.as_bool (eval_expr env a)))
+  | Binop (And, a, b) ->
+      if Value.as_bool (eval_expr env a) then eval_expr env b else Bool false
+  | Binop (Or, a, b) ->
+      if Value.as_bool (eval_expr env a) then Bool true else eval_expr env b
+  | Binop (op, a, b) -> eval_binop op (eval_expr env a) (eval_expr env b)
+  | Call (f, args) -> (
+      let argv = List.map (eval_expr env) args in
+      try Library.apply f argv with
+      | Library.Unknown_method m -> err "unknown library method %s" m
+      | Value.Type_error m -> err "%s" m)
+  | MkTuple es -> Tuple (List.map (eval_expr env) es)
+  | TupleGet (a, i) -> (
+      match eval_expr env a with
+      | Tuple xs -> (
+          match List.nth_opt xs i with
+          | Some x -> x
+          | None -> err "tuple index %d out of range" i)
+      | _ -> err "tuple projection of non-tuple")
+  | Field (a, f) -> (
+      match eval_expr env a with
+      | Struct (_, fields) -> (
+          match List.assoc_opt f fields with
+          | Some x -> x
+          | None -> err "no field %s" f)
+      | _ -> err "field access on non-struct")
+  | If (c, t, e') ->
+      if Value.as_bool (eval_expr env c) then eval_expr env t
+      else eval_expr env e'
+
+(** Bind λm parameters to the components of a record. *)
+let bind_params (env : env) (params : string list) (elt : Value.t) : env =
+  match (params, elt) with
+  | [ p ], _ -> (p, elt) :: env
+  | ps, Value.Tuple xs when List.length ps = List.length xs ->
+      List.combine ps xs @ env
+  | ps, _ ->
+      err "λm arity mismatch: %d params vs record %s" (List.length ps)
+        (Value.to_string elt)
+
+let apply_lam_m (env : env) (lm : lam_m) (elt : Value.t) :
+    [ `KV of (Value.t * Value.t) list | `V of Value.t list ] =
+  let env = bind_params env lm.m_params elt in
+  let kvs = ref [] and vs = ref [] in
+  List.iter
+    (fun { guard; payload } ->
+      let fire =
+        match guard with
+        | None -> true
+        | Some g -> Value.as_bool (eval_expr env g)
+      in
+      if fire then
+        match payload with
+        | KV (k, v) -> kvs := (eval_expr env k, eval_expr env v) :: !kvs
+        | Val v -> vs := eval_expr env v :: !vs)
+    lm.emits;
+  match (!kvs, !vs) with
+  | [], [] -> `KV [] (* nothing fired; caller unions, shape irrelevant *)
+  | kvs, [] -> `KV (List.rev kvs)
+  | [], vs -> `V (List.rev vs)
+  | _ -> err "λm mixes key-value and plain emits"
+
+let apply_lam_r (env : env) (lr : lam_r) (a : Value.t) (b : Value.t) : Value.t
+    =
+  eval_expr ((lr.r_left, a) :: (lr.r_right, b) :: env) lr.r_body
+
+let elements = function Records l -> l | Vals l -> l | Pairs l -> List.map (fun (k, v) -> Value.Tuple [ k; v ]) l
+
+let rec eval_node (env : env) (datasets : (string * Value.t list) list)
+    (n : node) : bag =
+  match n with
+  | Data d -> (
+      match List.assoc_opt d datasets with
+      | Some records -> Records records
+      | None -> err "unknown dataset %s" d)
+  | Map (src, lm) -> (
+      let input = eval_node env datasets src in
+      let elts =
+        match input with
+        | Records l | Vals l -> l
+        | Pairs l -> List.map (fun (k, v) -> Value.Tuple [ k; v ]) l
+      in
+      let kvs = ref [] and vs = ref [] in
+      List.iter
+        (fun elt ->
+          match apply_lam_m env lm elt with
+          | `KV l -> kvs := List.rev_append l !kvs
+          | `V l -> vs := List.rev_append l !vs)
+        elts;
+      match (List.rev !kvs, List.rev !vs) with
+      | [], [] -> Pairs []
+      | kvs, [] -> Pairs kvs
+      | [], vs -> Vals vs
+      | _ -> err "map emits mixed shapes across records")
+  | Reduce (src, lr) -> (
+      match eval_node env datasets src with
+      | Pairs kvs ->
+          let groups = Multiset.group_by_key kvs in
+          Pairs
+            (List.map
+               (fun (k, vs) ->
+                 match vs with
+                 | [] -> assert false
+                 | v0 :: rest ->
+                     (k, List.fold_left (apply_lam_r env lr) v0 rest))
+               groups)
+      | Records l | Vals l -> (
+          match l with
+          | [] -> Vals []
+          | v0 :: rest -> Vals [ List.fold_left (apply_lam_r env lr) v0 rest ])
+      )
+  | Join (a, b) -> (
+      match (eval_node env datasets a, eval_node env datasets b) with
+      | Pairs l1, Pairs l2 ->
+          Pairs
+            (List.concat_map
+               (fun (k1, v1) ->
+                 List.filter_map
+                   (fun (k2, v2) ->
+                     if Value.equal k1 k2 then
+                       Some (k1, Value.Tuple [ v1; v2 ])
+                     else None)
+                   l2)
+               l1)
+      | _ -> err "join expects key-value inputs on both sides")
+
+(** Shape of an output variable, used to materialize pipeline results. *)
+type out_shape =
+  | Scalar
+  | Arr  (** fixed-size array: rebuilt from the initial value by Int key *)
+  | MapAssoc  (** Java Map: the result *is* the association *)
+
+(** Compute the value of each bound output variable from the pipeline
+    result, against initial values [init] — the default for keys the
+    pipeline never emitted (this is exactly the initiation VC's base
+    case: empty data ⇒ outputs keep their initial values). *)
+let apply_summary (env : env) (datasets : (string * Value.t list) list)
+    (init : env) (shapes : (string * out_shape) list) (s : summary) : env =
+  let result = eval_node env datasets s.pipeline in
+  let lookup_init v =
+    match List.assoc_opt v init with
+    | Some x -> x
+    | None -> err "no initial value for output %s" v
+  in
+  List.map
+    (fun (var, ex) ->
+      let shape =
+        match List.assoc_opt var shapes with Some s -> s | None -> Scalar
+      in
+      let value =
+        match (ex, result, shape) with
+        | AtKey k, Pairs kvs, Scalar -> (
+            match
+              List.filter (fun (k', _) -> Value.equal k k') kvs
+            with
+            | [] -> lookup_init var
+            | [ (_, v) ] -> v
+            | _ -> err "key %s not reduced to a single value"
+                     (Value.to_string k))
+        | AtKey _, Vals [], Scalar -> lookup_init var
+        (* a map whose guarded emits never fired yields an empty bag of
+           ambiguous shape: every extraction falls back to the entry
+           value (the initiation case) *)
+        | Proj _, Pairs [], _ -> lookup_init var
+        | Whole, Pairs kvs, Arr -> (
+            let init_arr = Value.as_list (lookup_init var) in
+            let arr = Array.of_list init_arr in
+            List.iter
+              (fun (k, v) ->
+                match k with
+                | Value.Int i when i >= 0 && i < Array.length arr ->
+                    arr.(i) <- v
+                | Value.Int i -> err "array key %d out of bounds" i
+                | k -> err "non-integer array key %s" (Value.to_string k))
+              kvs;
+            Value.List (Array.to_list arr))
+        | Whole, Pairs kvs, MapAssoc ->
+            Value.List
+              (List.sort Value.compare
+                 (List.map (fun (k, v) -> Value.Tuple [ k; v ]) kvs))
+        | Whole, Vals [], Arr -> lookup_init var
+        | Whole, Vals [], MapAssoc -> Value.List []
+        | Proj _, Vals [], _ -> lookup_init var
+        | Proj None, Vals [ v ], _ -> v
+        | Proj (Some i), Vals [ v ], _ -> (
+            match v with
+            | Value.Tuple xs when i < List.length xs -> List.nth xs i
+            | _ -> err "projection %d of non-tuple result" i)
+        | Proj _, Vals _, _ -> err "global reduction yielded multiple values"
+        | _ -> err "extraction/result shape mismatch for %s" var
+      in
+      (var, value))
+    s.bindings

@@ -1,0 +1,1 @@
+lib/mapreduce/engine.ml: Array Casper_common Cluster Float Fmt Hashtbl List Plan

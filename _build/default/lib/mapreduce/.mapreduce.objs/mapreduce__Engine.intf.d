@@ -1,0 +1,1 @@
+lib/mapreduce/engine.mli: Casper_common Cluster Plan

@@ -1,0 +1,1 @@
+lib/mapreduce/plan.ml: Casper_common List

@@ -1,0 +1,1 @@
+lib/mapreduce/plan.mli: Casper_common

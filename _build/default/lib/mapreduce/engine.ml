@@ -1,0 +1,254 @@
+(** The simulated distributed MapReduce engine.
+
+    Plans are executed in memory for real results, while the engine
+    accounts the data volumes each stage produces — records and bytes
+    emitted, bytes shuffled across the (simulated) network — and charges
+    wall-clock time against a {!Cluster.t} profile. Shuffle accounting
+    honors combiners: a commutative-associative reduction pre-aggregates
+    within each of the [workers] partitions and only ships the combined
+    records (Appendix E.3 measures exactly this effect).
+
+    Input datasets are in-memory samples of the nominal workload; the
+    [scale] factor (nominal records / in-memory records) linearly scales
+    volume-proportional costs so a 200k-record sample can stand in for a
+    75 GB dataset without claiming absolute seconds. *)
+
+module Value = Casper_common.Value
+module Multiset = Casper_common.Multiset
+
+exception Engine_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
+
+type stage_metrics = {
+  label : string;
+  records_in : int;
+  records_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  bytes_shuffled : int;
+  is_shuffle : bool;
+  shuffle_cap_bytes : int option;
+      (** for combiner-based reductions: the scale-invariant upper bound
+          on shuffled bytes — one combined record per key per partition,
+          which does *not* grow with the nominal record count *)
+}
+
+type run = {
+  output : Value.t list;
+  stages : stage_metrics list;
+  input_records : int;
+  input_bytes : int;
+}
+
+let bytes_of (l : Value.t list) =
+  List.fold_left (fun a v -> a + Value.size_of v) 0 l
+
+let as_kv = function
+  | Value.Tuple [ k; v ] -> (k, v)
+  | v -> err "expected a key-value record, got %s" (Value.to_string v)
+
+(* partition records round-robin across workers, as a hash partitioner
+   would distribute them *)
+let partition (workers : int) (l : Value.t list) : Value.t list array =
+  let parts = Array.make workers [] in
+  List.iteri (fun i v -> parts.(i mod workers) <- v :: parts.(i mod workers)) l;
+  Array.map List.rev parts
+
+let group_fold f records =
+  Multiset.group_by_key (List.map as_kv records)
+  |> List.map (fun (k, vs) ->
+         match vs with
+         | [] -> assert false
+         | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
+
+(** Execute one plan over named datasets. *)
+let rec run_plan ~(cluster : Cluster.t)
+    ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+  let input =
+    match List.assoc_opt plan.Plan.source datasets with
+    | Some l -> l
+    | None -> err "unknown dataset %s" plan.Plan.source
+  in
+  let input_bytes = bytes_of input in
+  let nested_metrics = ref [] in
+  let exec (current : Value.t list) (stage : Plan.stage) :
+      Value.t list * stage_metrics =
+    let records_in = List.length current in
+    let bytes_in = bytes_of current in
+    let mk ?(shuffled = 0) ?(is_shuffle = false) ?cap out =
+      ( out,
+        {
+          label = Plan.stage_label stage;
+          records_in;
+          records_out = List.length out;
+          bytes_in;
+          bytes_out = bytes_of out;
+          bytes_shuffled = shuffled;
+          is_shuffle;
+          shuffle_cap_bytes = cap;
+        } )
+    in
+    match stage with
+    | Plan.Flat_map { f; _ } -> mk (List.concat_map f current)
+    | Plan.Filter { p; _ } -> mk (List.filter p current)
+    | Plan.Map_values { f; _ } ->
+        mk
+          (List.map
+             (fun r ->
+               let k, v = as_kv r in
+               Value.Tuple [ k; f v ])
+             current)
+    | Plan.Reduce_by_key { f; comm_assoc; _ } ->
+        let out = group_fold f current in
+        if comm_assoc && cluster.Cluster.combiner then
+          (* combine within each partition, ship the combined records;
+             at nominal scale each partition ships at most one record
+             per key, so the true bound is workers × combined output *)
+          let parts = partition cluster.Cluster.workers current in
+          let shuffled =
+            Array.fold_left
+              (fun acc part -> acc + bytes_of (group_fold f part))
+              0 parts
+          in
+          let cap = cluster.Cluster.workers * bytes_of out in
+          mk ~shuffled ~is_shuffle:true ~cap out
+        else mk ~shuffled:bytes_in ~is_shuffle:true out
+    | Plan.Group_by_key _ ->
+        let grouped =
+          Multiset.group_by_key (List.map as_kv current)
+          |> List.map (fun (k, vs) -> Value.Tuple [ k; Value.List vs ])
+        in
+        mk ~shuffled:bytes_in ~is_shuffle:true grouped
+    | Plan.Global_reduce { f; comm_assoc; _ } -> (
+        match current with
+        | [] -> mk ~shuffled:0 ~is_shuffle:true []
+        | v0 :: rest ->
+            let result = List.fold_left f v0 rest in
+            if comm_assoc && cluster.Cluster.combiner then
+              (* one partial per worker crosses the network *)
+              let parts = partition cluster.Cluster.workers current in
+              let shuffled =
+                Array.fold_left
+                  (fun acc part ->
+                    match part with
+                    | [] -> acc
+                    | p0 :: prest ->
+                        acc + Value.size_of (List.fold_left f p0 prest))
+                  0 parts
+              in
+              let cap = cluster.Cluster.workers * Value.size_of result in
+              mk ~shuffled ~is_shuffle:true ~cap [ result ]
+            else mk ~shuffled:bytes_in ~is_shuffle:true [ result ])
+    | Plan.Join_with { right; _ } ->
+        let right_run = run_plan ~cluster ~datasets right in
+        nested_metrics := !nested_metrics @ right_run.stages;
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun r ->
+            let k, v = as_kv r in
+            let key = Value.to_string k in
+            Hashtbl.add tbl key (k, v))
+          right_run.output;
+        let joined =
+          List.concat_map
+            (fun r ->
+              let k, v1 = as_kv r in
+              Hashtbl.find_all tbl (Value.to_string k)
+              |> List.rev_map (fun (_, v2) ->
+                     Value.Tuple [ k; Value.Tuple [ v1; v2 ] ]))
+            current
+        in
+        let shuffled = bytes_in + bytes_of right_run.output in
+        let out, m = mk ~shuffled ~is_shuffle:true joined in
+        (* fold the right side's metrics in before the join's own *)
+        (out, m)
+    | Plan.Sample_monitor { k; observe; _ } ->
+        observe (List.filteri (fun i _ -> i < k) current);
+        mk current
+  in
+  let output, rev_stages =
+    List.fold_left
+      (fun (cur, ms) stage ->
+        let out, m = exec cur stage in
+        (out, m :: ms))
+      (input, []) plan.Plan.stages
+  in
+  {
+    output;
+    stages = !nested_metrics @ List.rev rev_stages;
+    input_records = List.length input;
+    input_bytes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock model                                                     *)
+
+(** Estimated wall-clock seconds for a completed run on [cluster], with
+    in-memory volumes scaled by [scale] to the nominal workload. *)
+let simulate_time ~(cluster : Cluster.t) ~(scale : float) (r : run) : float =
+  let c = cluster in
+  let w = float_of_int c.Cluster.workers in
+  let ns v = v *. 1e-9 in
+  let read_time =
+    ns (float_of_int r.input_bytes *. scale *. c.Cluster.read_byte_ns) /. w
+  in
+  let stage_time (m : stage_metrics) =
+    let recs = float_of_int m.records_in *. scale in
+    let emitted = float_of_int m.bytes_out *. scale in
+    let cpu = if m.is_shuffle then c.Cluster.reduce_cpu_ns else c.Cluster.map_cpu_ns in
+    let compute = ns ((recs *. cpu) +. (emitted *. c.Cluster.emit_byte_ns)) /. w in
+    let shuffle_bytes =
+      let linear = float_of_int m.bytes_shuffled *. scale in
+      match m.shuffle_cap_bytes with
+      | Some cap -> Float.min linear (float_of_int cap)
+      | None -> linear
+    in
+    let shuffle = ns (shuffle_bytes *. c.Cluster.shuffle_byte_ns) in
+    let materialize =
+      if c.Cluster.per_job_boundary && m.is_shuffle then
+        ns (float_of_int m.bytes_out *. scale *. c.Cluster.materialize_byte_ns)
+      else 0.0
+    in
+    c.Cluster.stage_overhead_s +. compute +. shuffle +. materialize
+  in
+  let jobs =
+    if c.Cluster.per_job_boundary then
+      max 1 (List.length (List.filter (fun m -> m.is_shuffle) r.stages))
+    else 1
+  in
+  (float_of_int jobs *. c.Cluster.job_overhead_s)
+  +. read_time
+  +. List.fold_left (fun acc m -> acc +. stage_time m) 0.0 r.stages
+
+(** Wall-clock of the sequential original: single core, every record and
+    byte passes through one thread. [passes] = how many times the
+    sequential code scans the data (iterative algorithms > 1). *)
+let sequential_time ~(scale : float) ?(passes = 1) ~(records : int)
+    ~(bytes : int) () : float =
+  let recs = float_of_int records *. scale *. float_of_int passes in
+  let bts = float_of_int bytes *. scale *. float_of_int passes in
+  ((recs *. Cluster.sequential_cpu_ns) +. (bts *. Cluster.sequential_read_byte_ns))
+  *. 1e-9
+
+(* aggregate helpers used by the bench harness *)
+let total_shuffled (r : run) =
+  List.fold_left (fun a m -> a + m.bytes_shuffled) 0 r.stages
+
+(** Shuffled bytes at nominal scale, honoring the combiner caps the
+    time model applies. *)
+let effective_shuffled ~(scale : float) (r : run) : float =
+  List.fold_left
+    (fun a m ->
+      let linear = float_of_int m.bytes_shuffled *. scale in
+      a
+      +.
+      match m.shuffle_cap_bytes with
+      | Some cap -> Float.min linear (float_of_int cap)
+      | None -> linear)
+    0.0 r.stages
+
+let total_emitted (r : run) =
+  List.fold_left
+    (fun a m -> if m.is_shuffle then a else a + m.bytes_out)
+    0 r.stages

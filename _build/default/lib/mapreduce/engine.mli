@@ -1,0 +1,57 @@
+(** The simulated distributed MapReduce engine.
+
+    Plans execute in memory for real results while the engine accounts
+    per-stage data volumes; wall-clock is charged against a
+    {!Cluster.t} profile, with in-memory volumes scaled by a [scale]
+    factor to the nominal workload size (see DESIGN.md,
+    Substitutions). *)
+
+module Value = Casper_common.Value
+
+exception Engine_error of string
+
+(** Volume accounting for one executed stage. *)
+type stage_metrics = {
+  label : string;
+  records_in : int;
+  records_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  bytes_shuffled : int;  (** bytes crossing the network at sample scale *)
+  is_shuffle : bool;
+  shuffle_cap_bytes : int option;
+      (** for combiner-based reductions: the scale-invariant upper bound
+          on shuffled bytes — one combined record per key per partition,
+          which does not grow with the nominal record count *)
+}
+
+(** A completed plan execution. *)
+type run = {
+  output : Value.t list;
+  stages : stage_metrics list;  (** join inputs included *)
+  input_records : int;
+  input_bytes : int;
+}
+
+(** Execute a plan over named in-memory datasets.
+    @raise Engine_error on unknown datasets or shape errors. *)
+val run_plan :
+  cluster:Cluster.t -> datasets:(string * Value.t list) list -> Plan.t -> run
+
+(** Modeled wall-clock seconds on [cluster] at nominal scale. *)
+val simulate_time : cluster:Cluster.t -> scale:float -> run -> float
+
+(** Modeled single-core wall-clock of the sequential original.
+    [passes] is the number of data scans (iterative algorithms > 1). *)
+val sequential_time :
+  scale:float -> ?passes:int -> records:int -> bytes:int -> unit -> float
+
+(** Total bytes emitted by non-shuffle stages, at sample scale. *)
+val total_emitted : run -> int
+
+(** Total bytes shuffled, at sample scale (raw, uncapped). *)
+val total_shuffled : run -> int
+
+(** Shuffled bytes at nominal scale, honoring the combiner caps the time
+    model applies. *)
+val effective_shuffled : scale:float -> run -> float

@@ -1,0 +1,1 @@
+lib/minijava/ast.ml: Fmt List String

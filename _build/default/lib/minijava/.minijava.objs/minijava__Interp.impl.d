@@ -1,0 +1,1 @@
+lib/minijava/interp.ml: Ast Casper_common Float Fmt List Option String

@@ -1,0 +1,1 @@
+lib/minijava/interp.mli: Ast Casper_common

@@ -1,0 +1,1 @@
+lib/minijava/lexer.ml: Buffer Fmt List Option String

@@ -1,0 +1,1 @@
+lib/minijava/loopnorm.ml: Ast List

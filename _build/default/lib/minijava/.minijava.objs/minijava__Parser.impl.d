@@ -1,0 +1,1 @@
+lib/minijava/parser.ml: Array Ast Fmt Lexer List String

@@ -1,0 +1,1 @@
+lib/minijava/typecheck.ml: Ast Fmt List String

@@ -1,0 +1,33 @@
+(** Reference interpreter for MiniJava — the ground truth verification
+    compares candidate summaries against. Java [Map]s are modeled as
+    bags of (key, value) tuples with unique keys; mutation is by
+    functional environment update (cheap at verification scale). *)
+
+module Value = Casper_common.Value
+
+exception Runtime_error of string
+
+type env = (string * Value.t) list
+
+(* Break/Continue carry the environment at the point they fired, so that
+   assignments executed earlier in the same iteration survive. *)
+exception Break_exc of env
+exception Continue_exc of env
+exception Return_exc of Value.t option
+
+(** Default (zero) value of a declared type. *)
+val default_value : Ast.program -> Ast.ty -> Value.t
+
+(** Run a named method on argument values.
+    @raise Runtime_error on dynamic faults (out-of-bounds, division by
+    zero, arity mismatches, exceeding the step budget). *)
+val run_method :
+  Ast.program -> string -> Value.t list -> Value.t
+
+(** Execute a statement list in an environment; returns the final
+    environment (fragment execution for verification). *)
+val run_stmts :
+  Ast.program -> env -> Ast.stmt list -> env
+
+(** Evaluate one expression in an environment. *)
+val eval_expr : Ast.program -> env -> Ast.expr -> Value.t

@@ -1,0 +1,66 @@
+(** Loop normalization (paper §6.1): Casper converts all loop forms into
+    the canonical [while(true) { if (!cond) break; body; update }] shape
+    before computing verification conditions. We implement the same
+    classical transformation; the analyses downstream then deal with a
+    single loop form. *)
+
+open Ast
+
+let negate = function
+  | Unop (Not, e) -> e
+  | Binop (Lt, a, b) -> Binop (Ge, a, b)
+  | Binop (Le, a, b) -> Binop (Gt, a, b)
+  | Binop (Gt, a, b) -> Binop (Le, a, b)
+  | Binop (Ge, a, b) -> Binop (Lt, a, b)
+  | Binop (Eq, a, b) -> Binop (Ne, a, b)
+  | Binop (Ne, a, b) -> Binop (Eq, a, b)
+  | e -> Unop (Not, e)
+
+(** The canonical loop: [While (BoolLit true, guard :: body)]. *)
+let rec normalize_stmt (s : stmt) : stmt list =
+  match s with
+  | While (BoolLit true, body) ->
+      [ While (BoolLit true, normalize_stmts body) ]
+  | While (c, body) ->
+      [
+        While
+          ( BoolLit true,
+            If (negate c, [ Break ], []) :: normalize_stmts body );
+      ]
+  | DoWhile (body, c) ->
+      (* body; while (c) body  ==  while(true){ body; if(!c) break; } *)
+      [
+        While
+          (BoolLit true, normalize_stmts body @ [ If (negate c, [ Break ], []) ]);
+      ]
+  | For (init, cond, upd, body) ->
+      let guard =
+        match cond with Some c -> [ If (negate c, [ Break ], []) ] | None -> []
+      in
+      List.map (fun i -> i) init
+      @ [ While (BoolLit true, guard @ normalize_stmts body @ upd) ]
+  | ForEach (t, v, e, body) ->
+      (* Desugared with an explicit cursor so the canonical form is
+         expressible; fragment analysis keeps the original ForEach around
+         for iteration-space extraction. *)
+      let idx = "__" ^ v ^ "_i" in
+      [
+        Decl (TInt, idx, Some (IntLit 0));
+        While
+          ( BoolLit true,
+            If (Binop (Ge, Var idx, ArrLen e), [ Break ], [])
+            :: Decl (t, v, Some (Index (e, Var idx)))
+            :: (normalize_stmts body
+               @ [ Assign (LVar idx, Binop (Add, Var idx, IntLit 1)) ]) );
+      ]
+  | If (c, a, b) -> [ If (c, normalize_stmts a, normalize_stmts b) ]
+  | Block b -> [ Block (normalize_stmts b) ]
+  | s -> [ s ]
+
+and normalize_stmts (stmts : stmt list) : stmt list =
+  List.concat_map normalize_stmt stmts
+
+let normalize_method (m : meth) : meth = { m with body = normalize_stmts m.body }
+
+let normalize_program (p : program) : program =
+  { p with methods = List.map normalize_method p.methods }

@@ -1,0 +1,1 @@
+lib/suites/ariths.ml: Casper_common Suite Workload

@@ -1,0 +1,1 @@
+lib/suites/biglambda.ml: Casper_common Fmt List Suite Workload

@@ -1,0 +1,1 @@
+lib/suites/fiji.ml: Casper_common Suite Workload

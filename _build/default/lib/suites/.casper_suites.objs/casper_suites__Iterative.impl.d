@@ -1,0 +1,1 @@
+lib/suites/iterative.ml: Casper_common Suite Workload

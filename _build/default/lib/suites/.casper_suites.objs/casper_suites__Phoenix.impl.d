@@ -1,0 +1,1 @@
+lib/suites/phoenix.ml: Casper_common Suite Workload

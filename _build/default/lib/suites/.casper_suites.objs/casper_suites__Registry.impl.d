@@ -1,0 +1,1 @@
+lib/suites/registry.ml: Ariths Biglambda Fiji Iterative List Phoenix Stats String Suite Tpch_suite

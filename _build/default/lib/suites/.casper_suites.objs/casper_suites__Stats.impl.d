@@ -1,0 +1,1 @@
+lib/suites/stats.ml: Casper_common Suite Workload

@@ -1,0 +1,1 @@
+lib/suites/suite.ml: Casper_common

@@ -1,0 +1,1 @@
+lib/suites/tpch_suite.ml: Casper_common Suite Tpch Workload

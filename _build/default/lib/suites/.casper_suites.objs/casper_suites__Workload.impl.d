@@ -1,0 +1,1 @@
+lib/suites/workload.ml: Array Casper_common Fmt List

@@ -1,0 +1,1 @@
+lib/synth/cegis.ml: Casper_analysis Casper_common Casper_cost Casper_ir Casper_vcgen Casper_verify Enumerate Float Fmt Grammar Hashtbl Lift List Minijava Seq String Unix

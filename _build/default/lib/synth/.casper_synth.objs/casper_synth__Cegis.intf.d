@@ -1,0 +1,1 @@
+lib/synth/cegis.mli: Casper_analysis Casper_ir Minijava

@@ -1,0 +1,1 @@
+lib/synth/enumerate.ml: Casper_analysis Casper_common Casper_ir Casper_verify Grammar Hashtbl Lift List Minijava Seq String

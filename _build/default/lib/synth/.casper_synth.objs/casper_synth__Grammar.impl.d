@@ -1,0 +1,1 @@
+lib/synth/grammar.ml: Casper_analysis Casper_common Casper_ir Fmt Hashtbl Lift List Minijava String

@@ -1,0 +1,1 @@
+lib/synth/lift.ml: Casper_analysis Casper_common Casper_ir List Minijava Option Stdlib String

@@ -1,0 +1,533 @@
+(** Casper's search algorithm for program summaries (paper Figure 5).
+
+    [synthesize] is the CEGIS inner loop: generate a candidate consistent
+    with the counter-example set Φ, bounded-model-check it, refine Φ on
+    failure. [find_summary] is the outer loop: walk the incremental
+    grammar hierarchy, send bounded-verified candidates to the full
+    verifier, block both verified summaries (Δ) and verifier failures
+    (Ω) from the search space so the search makes forward progress
+    (§4.1), and return every verified summary of the first class that
+    yields one.
+
+    One implementation note: the paper restarts the synthesizer after
+    each blocked candidate; we continue a deterministic enumeration past
+    the blocked candidate instead, which visits the same candidates in
+    the same order minus the blocked set — the observable behaviour of
+    "restart with grammar G − Ω − Δ" without re-enumerating the
+    prefix. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module G = Grammar
+module Verifier = Casper_verify.Verifier
+module Statesgen = Casper_verify.Statesgen
+module Vc = Casper_vcgen.Vc
+module Value = Casper_common.Value
+
+type config = {
+  incremental : bool;  (** false = Table 3's flat-grammar ablation *)
+  max_candidates : int;  (** search budget — the 90-minute-timeout proxy *)
+  max_solutions : int;  (** stop collecting after this many verified *)
+  bounded_states : int;
+  full_states : int;
+  seed : int;
+  explore_all : bool;
+      (** keep climbing the class hierarchy even after a class yields
+          verified summaries (used to collect every shape of solution
+          for dynamic tuning, §7.4) *)
+}
+
+let default_config =
+  {
+    incremental = true;
+    max_candidates = 200_000;
+    max_solutions = 24;
+    bounded_states = 20;
+    full_states = 56;
+    seed = 11;
+    explore_all = false;
+  }
+
+type solution = {
+  summary : Ir.summary;
+  klass : int;
+  comm_assoc : bool;
+      (** every reduction in the pipeline is commutative-associative *)
+  static_cost : float;
+}
+
+type stats = {
+  candidates_tried : int;
+  cegis_iterations : int;
+  tp_failures : int;  (** full-verifier rejections, Table 2 *)
+  classes_explored : int;
+  elapsed_s : float;
+  timed_out : bool;
+}
+
+type outcome = {
+  solutions : solution list;  (** verified, cost-sorted *)
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+
+(** Probe environments for observational dedup: λm-parameter bindings
+    drawn from real fragment states.
+
+    Probe selection is coverage-guided: for every boolean sub-expression
+    harvested from the fragment body we make sure the probe set contains
+    states where it fires and states where it does not — otherwise a
+    guard that is rarely true (TPC-H Q6's five-way conjunction) would be
+    observationally equal to [false] and deduplicated out of its own
+    grammar. *)
+let make_probes prog (frag : F.t) : Casper_ir.Eval.env list =
+  let dom = Statesgen.full_domain frag in
+  let batch = Statesgen.gen_batch ~seed:97 ~count:30 dom prog frag in
+  let params =
+    match frag.F.schema with
+    (* join fragments: records of d1 bind x1; x2 is bound from d2 in a
+       separate pass below *)
+    | F.SJoin { x1; _ } -> [ (x1, Casper_ir.Lang.TInt) ]
+    | _ -> Lift.record_params frag
+  in
+  let probes =
+    List.concat_map
+      (fun penv ->
+        match Vc.entry_of_params prog frag penv with
+        | exception _ -> []
+        | entry -> (
+            match
+              Vc.datasets_at prog frag entry (Vc.outer_count prog frag entry)
+            with
+            | exception _ -> []
+            | dsets ->
+                let records =
+                  match dsets with (_, rs) :: _ -> rs | [] -> []
+                in
+                List.filteri
+                  (fun i _ -> i < 3)
+                  (List.map
+                     (fun r ->
+                       try
+                         Casper_ir.Eval.bind_params entry
+                           (List.map fst params) r
+                       with _ -> entry)
+                     records)))
+      batch
+  in
+  (* join fragments additionally need x2 bound from d2; cycle through the
+     right side's records so x2 varies across probes *)
+  let probes =
+    match frag.schema with
+    | F.SJoin { d2; x2; _ } ->
+        List.mapi
+          (fun i env ->
+            match List.assoc_opt d2 env with
+            | Some (Value.List (_ :: _ as es)) ->
+                (x2, List.nth es (i mod List.length es)) :: env
+            | _ -> env)
+          probes
+    | _ -> probes
+  in
+  match probes with
+  | [] -> [ [] ]
+  | pool ->
+      let base = List.filteri (fun i _ -> i < 16) pool in
+      (* coverage pass: for each harvested boolean, add probes until it
+         has at least two firing and two non-firing states (when the
+         pool contains any) *)
+      let bools =
+        List.filter
+          (fun e ->
+            match e with
+            | Ir.Binop ((Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.Eq | Ir.Ne
+                        | Ir.And | Ir.Or), _, _)
+            | Ir.Unop (Ir.Not, _) | Ir.Call _ ->
+                true
+            | _ -> false)
+          (Lift.harvest prog frag)
+      in
+      let eval_bool env e =
+        match Casper_ir.Eval.eval_expr env e with
+        | Value.Bool b -> Some b
+        | _ -> None
+        | exception _ -> None
+      in
+      let selected = ref base in
+      List.iter
+        (fun b ->
+          let count v =
+            List.length
+              (List.filter (fun env -> eval_bool env b = Some v) !selected)
+          in
+          List.iter
+            (fun want ->
+              let missing = 2 - count want in
+              if missing > 0 then
+                let extra =
+                  List.filter
+                    (fun env ->
+                      eval_bool env b = Some want
+                      && not (List.memq env !selected))
+                    pool
+                in
+                selected :=
+                  !selected @ List.filteri (fun i _ -> i < missing) extra)
+            [ true; false ])
+        bools;
+      List.filteri (fun i _ -> i < 48) !selected
+
+let summary_key (s : Ir.summary) : string = Ir.summary_to_string s
+
+(* ------------------------------------------------------------------ *)
+
+type search_state = {
+  mutable phi : Minijava.Interp.env list;  (** counter-example states Φ *)
+  blocked : (string, unit) Hashtbl.t;  (** Ω ∪ Δ, by canonical text *)
+  mutable tried : int;
+  mutable iters : int;
+  mutable tp_fail : int;
+  budget : int;
+}
+
+(** Figure 5 lines 1–8: find the next candidate in [cands] that survives
+    Φ and bounded model checking. *)
+let synthesize (cfg : config) (st : search_state) prog frag
+    (cands : Ir.summary Seq.t) : (Ir.summary * Ir.summary Seq.t) option =
+  let rec go (s : Ir.summary Seq.t) =
+    if st.tried >= st.budget then None
+    else
+      match s () with
+      | Seq.Nil -> None
+      | Seq.Cons (c, rest) ->
+          if Hashtbl.mem st.blocked (summary_key c) then go rest
+          else (
+            st.tried <- st.tried + 1;
+            if not (Verifier.holds_on prog frag c st.phi) then go rest
+            else (
+              st.iters <- st.iters + 1;
+              match
+                Verifier.bounded_check ~seed:cfg.seed
+                  ~count:cfg.bounded_states prog frag c
+              with
+              | Verifier.Valid -> Some (c, rest)
+              | Verifier.Counterexample phi_state ->
+                  st.phi <- phi_state :: st.phi;
+                  go rest
+              | Verifier.Invalid_summary _ ->
+                  Hashtbl.replace st.blocked (summary_key c) ();
+                  go rest))
+  in
+  go cands
+
+(* ------------------------------------------------------------------ *)
+
+let reduce_nodes (s : Ir.summary) : (Ir.node * Ir.lam_r) list =
+  let rec go acc = function
+    | Ir.Data _ -> acc
+    | Ir.Map (n, _) -> go acc n
+    | Ir.Reduce (n, lr) -> go ((n, lr) :: acc) n
+    | Ir.Join (a, b) -> go (go acc a) b
+  in
+  go [] s.pipeline
+
+let tenv_of_frag prog (frag : F.t) : Casper_ir.Infer.tenv =
+  {
+    Casper_ir.Infer.vars =
+      List.map
+        (fun (v, t) -> (v, Casper_analysis.Analyze.ir_ty t))
+        frag.input_scalars;
+    structs = Casper_analysis.Analyze.struct_table prog;
+  }
+
+(** Is every reduction in the summary commutative-associative? Drives
+    [reduceByKey] vs [groupByKey] in codegen (§6.3) and ϵ in the cost
+    model. *)
+let summary_comm_assoc prog (frag : F.t) (probe : Casper_ir.Eval.env)
+    (s : Ir.summary) : bool =
+  let tenv = tenv_of_frag prog frag in
+  let record_ty = Lift.record_ty_of frag in
+  List.for_all
+    (fun (src, lr) ->
+      let vty =
+        try
+          match Casper_ir.Infer.infer_node tenv record_ty src with
+          | `KVs (_, v) -> Some v
+          | `Plain t | `Recs t -> Some t
+        with Casper_ir.Infer.Ill_typed _ -> None
+      in
+      match vty with
+      | None -> false
+      | Some vty -> (
+          match Verifier.reducer_props probe lr vty with
+          | `Comm_assoc -> true
+          | `Not_comm_assoc -> false))
+    (reduce_nodes s)
+
+let static_cost prog (frag : F.t) (probe : Casper_ir.Eval.env)
+    (s : Ir.summary) : float =
+  let tenv = tenv_of_frag prog frag in
+  let record_ty = Lift.record_ty_of frag in
+  let reduce_eps lr vty =
+    match Verifier.reducer_props probe lr vty with
+    | `Comm_assoc -> 1.0
+    | `Not_comm_assoc -> Casper_cost.Cost.w_csg
+  in
+  let est = Casper_cost.Cost.static_estimator ~guard_prob:0.5 ~reduce_eps () in
+  Casper_cost.Cost.cost_of_summary tenv record_ty
+    (fun _ -> 1_000_000.0)
+    est s
+
+(* ------------------------------------------------------------------ *)
+
+(** Figure 5 lines 10–24: the full search. *)
+let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
+    (frag : F.t) : outcome =
+  let t0 = Unix.gettimeofday () in
+  let finish ~classes ~timed_out st solutions =
+    let probe =
+      match make_probes prog frag with p :: _ -> p | [] -> []
+    in
+    let solutions =
+      List.map
+        (fun (summary, klass) ->
+          {
+            summary;
+            klass;
+            comm_assoc = summary_comm_assoc prog frag probe summary;
+            static_cost = static_cost prog frag probe summary;
+          })
+        solutions
+      |> List.sort (fun a b -> Float.compare a.static_cost b.static_cost)
+    in
+    {
+      solutions;
+      stats =
+        {
+          candidates_tried = st.tried;
+          cegis_iterations = st.iters;
+          tp_failures = st.tp_fail;
+          classes_explored = classes;
+          elapsed_s = Unix.gettimeofday () -. t0;
+          timed_out;
+        };
+    }
+  in
+  match frag.unsupported with
+  | Some _ ->
+      let st =
+        { phi = []; blocked = Hashtbl.create 1; tried = 0; iters = 0;
+          tp_fail = 0; budget = 0 }
+      in
+      finish ~classes:0 ~timed_out:false st []
+  | None ->
+      let probes = make_probes prog frag in
+      let pools = G.build prog frag probes in
+      let klasses =
+        if config.incremental then G.classes frag else [ G.flat_class frag ]
+      in
+      let st =
+        {
+          phi =
+            (let dom = Statesgen.bounded_domain frag in
+             Statesgen.gen_batch ~seed:(config.seed + 1) ~count:3 dom prog
+               frag);
+          blocked = Hashtbl.create 64;
+          tried = 0;
+          iters = 0;
+          tp_fail = 0;
+          budget = config.max_candidates;
+        }
+      in
+      let delta = ref [] in
+      let rec class_loop classes_done = function
+        | [] -> finish ~classes:classes_done ~timed_out:false st !delta
+        | k :: rest ->
+            let cands = Enumerate.candidates prog frag pools k in
+            let rec inner cands =
+              if
+                st.tried >= st.budget
+                || List.length !delta >= config.max_solutions
+              then `Stop
+              else
+                match synthesize config st prog frag cands with
+                | None -> `Exhausted
+                | Some (c, cands_rest) ->
+                    Hashtbl.replace st.blocked (summary_key c) ();
+                    (match
+                       Verifier.full_verify ~count:config.full_states prog
+                         frag c
+                     with
+                    | Verifier.Valid -> delta := (c, k.G.k_id) :: !delta
+                    | Verifier.Counterexample phi_state ->
+                        (* theorem-prover rejection: block and refine Φ so
+                           related candidates die in the inner loop *)
+                        st.tp_fail <- st.tp_fail + 1;
+                        st.phi <- phi_state :: st.phi
+                    | Verifier.Invalid_summary _ ->
+                        st.tp_fail <- st.tp_fail + 1);
+                    inner cands_rest
+            in
+            (match inner cands with
+            | `Stop ->
+                finish ~classes:(classes_done + 1)
+                  ~timed_out:(st.tried >= st.budget && List.is_empty !delta)
+                  st !delta
+            | `Exhausted ->
+                if (not config.explore_all) && not (List.is_empty !delta)
+                then
+                  finish ~classes:(classes_done + 1) ~timed_out:false st
+                    !delta
+                else class_loop (classes_done + 1) rest)
+      in
+      let scalar_only =
+        List.for_all (fun (_, _, k) -> k = F.KScalar) frag.outputs
+      in
+      if config.incremental && scalar_only && List.length frag.outputs >= 3
+      then
+        match decompose_multi_output ~config prog frag with
+        | Some oc -> oc
+        | None -> class_loop 0 klasses
+      else class_loop 0 klasses
+
+(** Decomposed search for fragments with many scalar outputs: find a
+    keyed summary per output independently, then merge the emits of
+    solutions that share the same reducer into one pipeline and re-run
+    full verification on the merged summary. Sketch solves such
+    fragments monolithically through constraint propagation; for an
+    enumerative synthesizer this factorization reaches the same
+    summaries without the cartesian blow-up. The merged result is
+    checked end-to-end, so soundness is unaffected. *)
+and decompose_multi_output ~(config : config) prog (frag : F.t) :
+    outcome option =
+  let sub_config =
+    {
+      config with
+      max_candidates = config.max_candidates / List.length frag.outputs;
+      max_solutions = 6;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let subs =
+    List.map
+      (fun out ->
+        let frag_o = { frag with F.outputs = [ out ] } in
+        (out, find_summary ~config:sub_config prog frag_o))
+      frag.outputs
+  in
+  let tried =
+    List.fold_left
+      (fun a (_, (o : outcome)) -> a + o.stats.candidates_tried)
+      0 subs
+  and iters =
+    List.fold_left
+      (fun a (_, (o : outcome)) -> a + o.stats.cegis_iterations)
+      0 subs
+  and tp =
+    List.fold_left
+      (fun a (_, (o : outcome)) -> a + o.stats.tp_failures)
+      0 subs
+  in
+  (* keyed single-emit solutions per output, indexed by reducer text *)
+  let keyed_of (s : solution) :
+      (string (* λr *) * Ir.emit * string (* var *)) option =
+    match s.summary with
+    | {
+     Ir.pipeline = Ir.Reduce (Ir.Map (Ir.Data _, { Ir.emits = [ e ]; _ }), lr);
+     bindings = [ (v, Ir.AtKey _) ];
+    } ->
+        Some (Fmt.str "%a" Ir.pp_lam_r lr, e, v)
+    | _ -> None
+  in
+  let tables =
+    List.map
+      (fun ((v, _, _), (o : outcome)) ->
+        ( v,
+          List.filter_map
+            (fun s ->
+              match keyed_of s with
+              | Some (lr_key, e, _) -> Some (lr_key, (e, s))
+              | None -> None)
+            o.solutions ))
+      subs
+  in
+  if List.exists (fun (_, l) -> List.is_empty l) tables then None
+  else
+    (* reducers available for every output *)
+    let common =
+      match tables with
+      | [] -> []
+      | (_, first) :: rest ->
+          List.filter
+            (fun (lrk, _) ->
+              List.for_all (fun (_, l) -> List.mem_assoc lrk l) rest)
+            first
+          |> List.map fst |> List.sort_uniq String.compare
+    in
+    let merged_candidates =
+      List.filter_map
+        (fun lrk ->
+          let emits_and_sols =
+            List.map (fun (_, l) -> List.assoc lrk l) tables
+          in
+          let emits = List.map fst emits_and_sols in
+          match List.map snd emits_and_sols with
+          | s0 :: _ -> (
+              match s0.summary.Ir.pipeline with
+              | Ir.Reduce (Ir.Map (Ir.Data d, lm0), lr) ->
+                  Some
+                    {
+                      Ir.pipeline =
+                        Ir.Reduce
+                          ( Ir.Map
+                              (Ir.Data d, { lm0 with Ir.emits }),
+                            lr );
+                      bindings =
+                        List.map
+                          (fun (v, _) -> (v, Ir.AtKey (Value.Str v)))
+                          tables;
+                    }
+              | _ -> None)
+          | [] -> None)
+        common
+    in
+    let verified =
+      List.filter
+        (fun s ->
+          match Verifier.full_verify ~count:config.full_states prog frag s with
+          | Verifier.Valid -> true
+          | _ -> false)
+        merged_candidates
+    in
+    match verified with
+    | [] -> None
+    | _ ->
+        let probe =
+          match make_probes prog frag with p :: _ -> p | [] -> []
+        in
+        let solutions =
+          List.map
+            (fun summary ->
+              {
+                summary;
+                klass = 4;
+                comm_assoc = summary_comm_assoc prog frag probe summary;
+                static_cost = static_cost prog frag probe summary;
+              })
+            verified
+          |> List.sort (fun a b -> Float.compare a.static_cost b.static_cost)
+        in
+        Some
+          {
+            solutions;
+            stats =
+              {
+                candidates_tried = tried;
+                cegis_iterations = iters;
+                tp_failures = tp;
+                classes_explored = List.length frag.outputs;
+                elapsed_s = Unix.gettimeofday () -. t0;
+                timed_out = false;
+              };
+          }

@@ -1,0 +1,62 @@
+(** Casper's search algorithm for program summaries (paper Figure 5):
+    incremental CEGIS with two-phase verification and candidate
+    blocking. *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+
+(** Search configuration. The candidate budget is the 90-minute-timeout
+    proxy; [incremental = false] is Table 3's flat-grammar ablation. *)
+type config = {
+  incremental : bool;
+  max_candidates : int;
+  max_solutions : int;
+  bounded_states : int;  (** states per bounded model check *)
+  full_states : int;  (** states per full verification *)
+  seed : int;
+  explore_all : bool;
+      (** keep climbing the class hierarchy after a class yields verified
+          summaries, to collect shape-diverse equivalents for dynamic
+          tuning (§7.4) *)
+}
+
+val default_config : config
+
+(** A verified summary with the metadata codegen and the cost model
+    need. *)
+type solution = {
+  summary : Ir.summary;
+  klass : int;  (** grammar class it was found in *)
+  comm_assoc : bool;
+      (** every reduction commutative-associative → [reduceByKey] *)
+  static_cost : float;  (** Eqns 2–4 at the static estimator *)
+}
+
+type stats = {
+  candidates_tried : int;
+  cegis_iterations : int;
+  tp_failures : int;  (** full-verifier rejections — Table 2 *)
+  classes_explored : int;
+  elapsed_s : float;
+  timed_out : bool;  (** budget exhausted with no solution *)
+}
+
+type outcome = { solutions : solution list; stats : stats }
+
+(** Probe environments binding λm parameters, drawn from real fragment
+    states with guard-coverage selection; used for observational dedup
+    in grammar construction. *)
+val make_probes : Minijava.Ast.program -> F.t -> Casper_ir.Eval.env list
+
+(** IR typing environment of a fragment's free scalars. *)
+val tenv_of_frag : Minijava.Ast.program -> F.t -> Casper_ir.Infer.tenv
+
+(** Is every reduction in the summary commutative-associative? *)
+val summary_comm_assoc :
+  Minijava.Ast.program -> F.t -> Casper_ir.Eval.env -> Ir.summary -> bool
+
+(** Figure 5 lines 10–24: the full search. Cost-sorted verified
+    summaries; empty when the fragment is unsupported or the space is
+    exhausted/budget spent without a verifiable candidate. *)
+val find_summary :
+  ?config:config -> Minijava.Ast.program -> F.t -> outcome

@@ -1,0 +1,815 @@
+(** Candidate-summary enumeration: traversing a grammar class.
+
+    Expands the production rules of a grammar class into concrete
+    summaries, lazily ([Seq.t]) and in roughly increasing structural
+    size — pools are size-sorted, so cheap candidates surface first and
+    the search is biased towards inexpensive summaries (§4.2).
+
+    Pipeline shapes follow Figure 6's hierarchy:
+    - 1 op:  [reduce(data)] (scalar lists), [map(data)] (keyed outputs)
+    - 2 ops: [reduce(map(data))] — keyed or global
+    - 3 ops: [map(reduce(map(data)))]
+    - join fragments: [reduce(map(join(map(d1), map(d2))))] *)
+
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module G = Grammar
+module Value = Casper_common.Value
+
+let seq_of_list = List.to_seq
+
+let ( let* ) s f = Seq.concat_map f s
+
+let vals_list pools ~max_len ty =
+  List.filter (fun e -> G.glen pools e <= max_len) (G.exprs_of_ty pools ty)
+
+let vals pools ~max_len ty = seq_of_list (vals_list pools ~max_len ty)
+
+(* Deduplicated (guard, key, value) emit candidates: two emits that fire
+   on the same probes with the same key and value are the same grammar
+   production. This is what keeps class traversal tractable. *)
+let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
+    string =
+  String.concat "|"
+    (List.map
+       (fun env ->
+         let fired =
+           match guard with
+           | None -> true
+           | Some g -> (
+               match Casper_ir.Eval.eval_expr env g with
+               | Value.Bool b -> b
+               | _ -> false
+               | exception _ -> false)
+         in
+         if not fired then "-"
+         else
+           match payload with
+           | Ir.KV (k, v) -> (
+               let s e =
+                 match Casper_ir.Eval.eval_expr env e with
+                 | x -> Value.to_string x
+                 | exception _ -> "#err"
+               in
+               s k ^ ":" ^ s v)
+           | Ir.Val v -> (
+               match Casper_ir.Eval.eval_expr env v with
+               | x -> Value.to_string x
+               | exception _ -> "#err"))
+       pools.G.probes)
+
+let dedupe_emits (pools : G.pools) ?(limit = 512) (emits : Ir.emit list) :
+    Ir.emit list =
+  let seen = Hashtbl.create 128 in
+  List.filter
+    (fun e ->
+      let f = emit_fingerprint pools e in
+      if Hashtbl.mem seen f then false
+      else (
+        Hashtbl.add seen f ();
+        true))
+    emits
+  |> G.cap limit
+
+(** Keyed emit candidates for a collection output. *)
+let kv_emits (pools : G.pools) (k : G.klass) ?limit
+    ~(key_pool : Ir.expr list) ~(val_pool : Ir.expr list) () : Ir.emit list =
+  (* guards outermost (unguarded first), keys innermost, so that the cap
+     never starves a later key of its cheap (guard, value) combinations.
+     Values are re-ordered by plain grammar length: constants make
+     perfectly good values (counting emits [(k, 1)]), unlike keys. *)
+  let val_pool =
+    List.sort
+      (fun a b -> compare (G.glen pools a, a) (G.glen pools b, b))
+      val_pool
+  in
+  List.concat_map
+    (fun g ->
+      List.concat_map
+        (fun v ->
+          List.map
+            (fun key -> { Ir.guard = g; payload = Ir.KV (key, v) })
+            key_pool)
+        val_pool)
+    (G.guards pools ~max_len:k.G.max_len)
+  |> dedupe_emits pools ?limit
+
+(** Output-variable IR types. *)
+let scalar_out_ty (t : Minijava.Ast.ty) : Ir.ty =
+  Casper_analysis.Analyze.ir_ty t
+
+let elem_out_ty (t : Minijava.Ast.ty) : Ir.ty =
+  match t with
+  | Minijava.Ast.TArray e | Minijava.Ast.TList e ->
+      Casper_analysis.Analyze.ir_ty e
+  | Minijava.Ast.TMap (_, v) -> Casper_analysis.Analyze.ir_ty v
+  | t -> Casper_analysis.Analyze.ir_ty t
+
+let key_out_ty (t : Minijava.Ast.ty) : Ir.ty =
+  match t with
+  | Minijava.Ast.TArray _ | Minijava.Ast.TList _ -> Ir.TInt
+  | Minijava.Ast.TMap (k, _) -> Casper_analysis.Analyze.ir_ty k
+  | _ -> Ir.TInt
+
+(* --------------------------------------------------------------- *)
+(* Pools for post-reduce map stages (λm2)                           *)
+
+(** Small expression pool over a single bound variable [v] of type [vt]
+    plus the fragment's scalars. *)
+let post_pool (pools : G.pools) ~(v : string) (vt : Ir.ty) ~(out_ty : Ir.ty)
+    : Ir.expr list =
+  let terminals =
+    match vt with
+    | Ir.TTuple ts -> List.mapi (fun i _ -> Ir.TupleGet (Ir.Var v, i)) ts
+    | _ -> [ Ir.Var v ]
+  in
+  let scalar_terms =
+    List.filter_map
+      (fun (s, t) ->
+        match t with
+        | Ir.TInt | Ir.TFloat -> Some (Ir.Var s)
+        | _ -> None)
+      pools.G.scalars
+    @ [ Ir.CInt 1; Ir.CInt 2; Ir.CFloat 1.0 ]
+  in
+  let arith =
+    List.filter G.is_arith (Ir.Add :: Ir.Sub :: Ir.Div :: pools.G.ops)
+    |> List.sort_uniq compare
+  in
+  let layer1 =
+    List.concat_map
+      (fun op ->
+        List.concat_map
+          (fun a ->
+            List.map (fun b -> Ir.Binop (op, a, b)) (terminals @ scalar_terms))
+          terminals)
+      arith
+  in
+  let all = terminals @ layer1 in
+  (* type filter against the expected output type *)
+  let tenv =
+    { (G.tenv_of pools) with
+      Casper_ir.Infer.vars = (v, vt) :: (G.tenv_of pools).Casper_ir.Infer.vars
+    }
+  in
+  let well_typed =
+    List.filter
+      (fun e ->
+        match Casper_ir.Infer.infer tenv e with
+        | t -> Ir.ty_equal t out_ty
+               || (out_ty = Ir.TFloat && t = Ir.TInt)
+        | exception Casper_ir.Infer.Ill_typed _ -> false)
+      all
+  in
+  (* dedupe on synthetic probes for v *)
+  let rng = Casper_common.Rng.create 77 in
+  let samples = Casper_verify.Verifier.sample_values rng vt ~n:5 in
+  (* pair each sample with several distinct base environments so free
+     scalars (cols, n, …) vary across probes and dedup stays faithful *)
+  let bases =
+    match pools.G.probes with
+    | [] -> [ [] ]
+    | l -> G.cap 4 l
+  in
+  let probes =
+    List.concat_map (fun s -> List.map (fun b -> (v, s) :: b) bases) samples
+  in
+  G.cap 16 (G.dedupe probes well_typed)
+
+(* --------------------------------------------------------------- *)
+(* Shape generators                                                 *)
+
+let mk_map_emits params emits = { Ir.m_params = params; emits }
+let param_names pools = List.map fst pools.G.params
+
+(** 1 op: global reduce directly over a list of scalar records. *)
+let shape_reduce_only (frag : F.t) (pools : G.pools) (k : G.klass) :
+    Ir.summary Seq.t =
+  match (frag.schema, frag.outputs) with
+  | F.SList { elem_ty; _ }, [ (out, _, F.KScalar) ] ->
+      let ety = Casper_analysis.Analyze.ir_ty elem_ty in
+      (match ety with
+      | Ir.TInt | Ir.TFloat | Ir.TBool | Ir.TString ->
+          let d = F.primary_dataset frag in
+          Seq.map
+            (fun lr ->
+              {
+                Ir.pipeline = Ir.Reduce (Ir.Data d, lr);
+                bindings = [ (out, Ir.Proj None) ];
+              })
+            (seq_of_list (G.reducers pools ety))
+      | _ -> Seq.empty)
+  | _ ->
+      ignore k;
+      Seq.empty
+
+(** 1 op: map only — keyed output rebuilt per record. *)
+let shape_map_only (frag : F.t) (pools : G.pools) (k : G.klass) :
+    Ir.summary Seq.t =
+  match frag.outputs with
+  | [ (out, oty, (F.KArray | F.KMap)) ] ->
+      let d = F.primary_dataset frag in
+      let params = param_names pools in
+      let kty = key_out_ty oty and vty = elem_out_ty oty in
+      let emits =
+        kv_emits pools k
+          ~key_pool:(G.cap 8 (vals_list pools ~max_len:k.max_len kty))
+          ~val_pool:(vals_list pools ~max_len:k.max_len vty)
+          ()
+      in
+      Seq.map
+        (fun e ->
+          {
+            Ir.pipeline = Ir.Map (Ir.Data d, mk_map_emits params [ e ]);
+            bindings = [ (out, Ir.Whole) ];
+          })
+        (seq_of_list emits)
+  | _ -> Seq.empty
+
+(** Emit-candidate list for one scalar output, observationally deduped
+    (guard × value combinations collapse when they behave identically on
+    the probes). *)
+let scalar_emits (pools : G.pools) (k : G.klass) (out : string)
+    (oty : Ir.ty) : Ir.emit list =
+  let combos =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun v ->
+            { Ir.guard = g; payload = Ir.KV (Ir.CStr out, v) })
+          (vals_list pools ~max_len:k.max_len oty))
+      (G.guards pools ~max_len:k.max_len)
+  in
+  (* dedupe by emit behaviour on the probes *)
+  let fp { Ir.guard; payload } =
+    String.concat "|"
+      (List.map
+         (fun env ->
+           let fired =
+             match guard with
+             | None -> true
+             | Some g -> (
+                 match Casper_ir.Eval.eval_expr env g with
+                 | Value.Bool b -> b
+                 | _ -> false
+                 | exception _ -> false)
+           in
+           if not fired then "-"
+           else
+             match payload with
+             | Ir.KV (_, v) | Ir.Val v -> (
+                 match Casper_ir.Eval.eval_expr env v with
+                 | x -> Value.to_string x
+                 | exception _ -> "#err"))
+         pools.G.probes)
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun e ->
+      let f = fp e in
+      if Hashtbl.mem seen f then false
+      else (
+        Hashtbl.add seen f ();
+        true))
+    combos
+  |> G.cap 64
+
+(** 2 ops: reduce(map(data)) — keyed by output-variable id. *)
+let shape_map_reduce_keyed (frag : F.t) (pools : G.pools) (k : G.klass) :
+    Ir.summary Seq.t =
+  let scalars =
+    List.filter_map
+      (fun (v, t, kd) ->
+        match kd with F.KScalar -> Some (v, scalar_out_ty t) | _ -> None)
+      frag.outputs
+  in
+  if
+    List.length scalars = 0
+    || List.length scalars <> List.length frag.outputs
+    || List.length scalars > k.max_emits
+  then Seq.empty
+  else
+    let tys = List.sort_uniq compare (List.map snd scalars) in
+    match tys with
+    | [ vty ] ->
+        let d = F.primary_dataset frag in
+        let params = param_names pools in
+        let per_out =
+          List.map (fun (o, t) -> scalar_emits pools k o t) scalars
+        in
+        let rec cart = function
+          | [] -> Seq.return []
+          | pool :: rest ->
+              let* e = seq_of_list pool in
+              Seq.map (fun tl -> e :: tl) (cart rest)
+        in
+        let* emits = cart per_out in
+        Seq.map
+          (fun lr ->
+            {
+              Ir.pipeline =
+                Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params emits), lr);
+              bindings =
+                List.map
+                  (fun (o, _) -> (o, Ir.AtKey (Value.Str o)))
+                  scalars;
+            })
+          (seq_of_list (G.reducers pools vty))
+    | _ -> Seq.empty (* mixed-type keyed outputs need tuple shapes *)
+
+(** 2 ops: global reduce over plain emitted values (tuple style). *)
+let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
+    Ir.summary Seq.t =
+  let scalars =
+    List.filter_map
+      (fun (v, t, kd) ->
+        match kd with F.KScalar -> Some (v, scalar_out_ty t) | _ -> None)
+      frag.outputs
+  in
+  if
+    List.length scalars = 0
+    || List.length scalars <> List.length frag.outputs
+  then Seq.empty
+  else
+    let d = F.primary_dataset frag in
+    let params = param_names pools in
+    match scalars with
+    | [ (out, oty) ] ->
+        let emits =
+          List.concat_map
+            (fun g ->
+              List.map
+                (fun v -> { Ir.guard = g; payload = Ir.Val v })
+                (vals_list pools ~max_len:k.max_len oty))
+            (G.guards pools ~max_len:k.max_len)
+          |> dedupe_emits pools
+        in
+        let* e = seq_of_list emits in
+        Seq.map
+          (fun lr ->
+            {
+              Ir.pipeline =
+                Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params [ e ]), lr);
+              bindings = [ (out, Ir.Proj None) ];
+            })
+          (seq_of_list (G.reducers pools oty))
+    | _ when k.allow_tuples && List.length scalars <= 3 ->
+        let slot_pools =
+          List.map
+            (fun (_, t) -> G.cap 10 (vals_list pools ~max_len:k.max_len t))
+            scalars
+        in
+        let rec cart = function
+          | [] -> Seq.return []
+          | pool :: rest ->
+              let* e = seq_of_list pool in
+              Seq.map (fun tl -> e :: tl) (cart rest)
+        in
+        let vty = Ir.TTuple (List.map snd scalars) in
+        let* slots = cart slot_pools in
+        Seq.map
+          (fun lr ->
+            {
+              Ir.pipeline =
+                Ir.Reduce
+                  ( Ir.Map
+                      ( Ir.Data d,
+                        mk_map_emits params
+                          [
+                            { Ir.guard = None; payload = Ir.Val (Ir.MkTuple slots) };
+                          ] ),
+                    lr );
+              bindings =
+                List.mapi (fun i (o, _) -> (o, Ir.Proj (Some i))) scalars;
+            })
+          (seq_of_list (G.reducers pools vty))
+    | _ -> Seq.empty
+
+(** 2 ops: reduce(map(data)) for a keyed (array/map) output. *)
+let shape_map_reduce_collection (frag : F.t) (pools : G.pools) (k : G.klass)
+    : Ir.summary Seq.t =
+  match frag.outputs with
+  | [ (out, oty, (F.KArray | F.KMap)) ] ->
+      let d = F.primary_dataset frag in
+      let params = param_names pools in
+      let kty = key_out_ty oty and vty = elem_out_ty oty in
+      let emits =
+        kv_emits pools k ~limit:4096
+          ~key_pool:(G.cap 8 (vals_list pools ~max_len:k.max_len kty))
+          ~val_pool:(G.cap 14 (vals_list pools ~max_len:k.max_len vty))
+          ()
+      in
+      (* multi-emit bodies (3D Histogram emits one pair per channel):
+         unordered combinations from the head of the deduped emit pool *)
+      let single = List.map (fun e -> [ e ]) emits in
+      let head = G.cap 18 emits in
+      let pairs =
+        if k.max_emits < 2 then []
+        else
+          List.concat
+            (List.mapi
+               (fun i a ->
+                 List.filteri (fun j _ -> j > i) head
+                 |> List.map (fun b -> [ a; b ]))
+               head)
+      in
+      let triples =
+        if k.max_emits < 3 then []
+        else
+          let h = head in
+          List.concat
+            (List.mapi
+               (fun i a ->
+                 List.concat
+                   (List.mapi
+                      (fun j b ->
+                        if j <= i then []
+                        else
+                          List.filteri (fun l _ -> l > j) h
+                          |> List.map (fun c -> [ a; b; c ]))
+                      h))
+               h)
+      in
+      let* body = seq_of_list (single @ pairs @ triples) in
+      Seq.map
+        (fun lr ->
+          {
+            Ir.pipeline =
+              Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params body), lr);
+            bindings = [ (out, Ir.Whole) ];
+          })
+        (seq_of_list (G.reducers pools vty))
+  | _ -> Seq.empty
+
+(** 3 ops: map(reduce(map(data))) — keyed, with a post-processing map
+    that rewrites each reduced value (row-wise mean's [v / cols]). *)
+let shape_map_reduce_map_collection (frag : F.t) (pools : G.pools)
+    (k : G.klass) : Ir.summary Seq.t =
+  match frag.outputs with
+  | [ (out, oty, (F.KArray | F.KMap)) ] ->
+      let d = F.primary_dataset frag in
+      let params = param_names pools in
+      let kty = key_out_ty oty and vty = elem_out_ty oty in
+      let emits =
+        kv_emits pools k ~limit:256
+          ~key_pool:(G.cap 6 (vals_list pools ~max_len:k.max_len kty))
+          ~val_pool:(G.cap 16 (vals_list pools ~max_len:k.max_len vty))
+          ()
+      in
+      let* e = seq_of_list emits in
+      let* lr = seq_of_list (G.reducers pools vty) in
+      let post = post_pool pools ~v:"v" vty ~out_ty:(elem_out_ty oty) in
+      Seq.map
+        (fun e2 ->
+          {
+            Ir.pipeline =
+              Ir.Map
+                ( Ir.Reduce
+                    ( Ir.Map
+                        (Ir.Data d, mk_map_emits params [ e ]),
+                      lr ),
+                  mk_map_emits [ "k"; "v" ]
+                    [
+                      {
+                        Ir.guard = None;
+                        payload = Ir.KV (Ir.Var "k", e2);
+                      };
+                    ] );
+            bindings = [ (out, Ir.Whole) ];
+          })
+        (seq_of_list
+           (List.filter (fun e -> e <> Ir.Var "v") post))
+  | _ -> Seq.empty
+
+(** 3 ops: map(reduce(map(data))) with a global tuple reduction and a
+    final map that computes each scalar output from the folded tuple
+    (Delta's [max - min]). *)
+let shape_map_reduce_map_global (frag : F.t) (pools : G.pools) (k : G.klass)
+    : Ir.summary Seq.t =
+  let scalars =
+    List.filter_map
+      (fun (v, t, kd) ->
+        match kd with F.KScalar -> Some (v, scalar_out_ty t) | _ -> None)
+      frag.outputs
+  in
+  if
+    (not k.allow_tuples)
+    || List.length scalars = 0
+    || List.length scalars <> List.length frag.outputs
+  then Seq.empty
+  else
+    let d = F.primary_dataset frag in
+    let params = param_names pools in
+    (* fold a pair of identical base expressions, post-process per output *)
+    let base_tys =
+      List.sort_uniq compare (List.map snd scalars)
+      |> List.filter (fun t -> t = Ir.TInt || t = Ir.TFloat)
+    in
+    let* bty = seq_of_list base_tys in
+    let* b = seq_of_list (G.cap 8 (vals_list pools ~max_len:k.max_len bty)) in
+    let vty = Ir.TTuple [ bty; bty ] in
+    let* lr =
+      seq_of_list
+        (List.filter
+           (fun lr -> match lr.Ir.r_body with Ir.MkTuple _ -> true | _ -> false)
+           (G.reducers pools vty))
+    in
+    let post = post_pool pools ~v:"t" vty ~out_ty:bty in
+    let rec choose_exprs outs =
+      match outs with
+      | [] -> Seq.return []
+      | (o, _) :: rest ->
+          let* e = seq_of_list (G.cap 8 post) in
+          Seq.map (fun tl -> (o, e) :: tl) (choose_exprs rest)
+    in
+    Seq.map
+      (fun choices ->
+        {
+          Ir.pipeline =
+            Ir.Map
+              ( Ir.Reduce
+                  ( Ir.Map
+                      ( Ir.Data d,
+                        mk_map_emits params
+                          [
+                            {
+                              Ir.guard = None;
+                              payload = Ir.Val (Ir.MkTuple [ b; b ]);
+                            };
+                          ] ),
+                    lr ),
+                mk_map_emits [ "t" ]
+                  (List.map
+                     (fun (o, e) ->
+                       { Ir.guard = None; payload = Ir.KV (Ir.CStr o, e) })
+                     choices) );
+          bindings =
+            List.map (fun (o, _) -> (o, Ir.AtKey (Value.Str o))) choices;
+        })
+      (choose_exprs scalars)
+
+(* --------------------------------------------------------------- *)
+(* Join shapes                                                      *)
+
+let rec subst (m : (string * Ir.expr) list) (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Var v -> ( match List.assoc_opt v m with Some e' -> e' | None -> e)
+  | Ir.CInt _ | Ir.CFloat _ | Ir.CBool _ | Ir.CStr _ -> e
+  | Ir.Unop (op, a) -> Ir.Unop (op, subst m a)
+  | Ir.Binop (op, a, b) -> Ir.Binop (op, subst m a, subst m b)
+  | Ir.Call (f, args) -> Ir.Call (f, List.map (subst m) args)
+  | Ir.MkTuple es -> Ir.MkTuple (List.map (subst m) es)
+  | Ir.TupleGet (a, i) -> Ir.TupleGet (subst m a, i)
+  | Ir.Field (a, f) -> Ir.Field (subst m a, f)
+  | Ir.If (a, b, c) -> Ir.If (subst m a, subst m b, subst m c)
+
+(** Join-key candidates: equality conditions in the body that compare an
+    [x1]-only expression with an [x2]-only expression, plus same-typed
+    field pairs. *)
+let join_keys (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools) :
+    (Ir.expr * Ir.expr) list =
+  match frag.schema with
+  | F.SJoin { x1; x2; _ } ->
+      let lift1 = Lift.lift frag prog in
+      let from_body =
+        Minijava.Ast.fold_stmts
+          ~expr:(fun acc e ->
+            match e with
+            | Minijava.Ast.Binop (Minijava.Ast.Eq, a, b) -> (
+                match (lift1 a, lift1 b) with
+                | Some a', Some b' ->
+                    let va = Ir.expr_vars a' and vb = Ir.expr_vars b' in
+                    if
+                      List.mem x1 va && (not (List.mem x2 va))
+                      && List.mem x2 vb
+                      && not (List.mem x1 vb)
+                    then (a', b') :: acc
+                    else if
+                      List.mem x2 va && (not (List.mem x1 va))
+                      && List.mem x1 vb
+                      && not (List.mem x2 vb)
+                    then (b', a') :: acc
+                    else acc
+                | _ -> acc)
+            | _ -> acc)
+          ~stmt:(fun acc _ -> acc)
+          [] frag.body
+      in
+      let fields_of v =
+        match List.assoc_opt v pools.G.params with
+        | Some (Ir.TRecord name) -> (
+            match List.assoc_opt name pools.G.structs with
+            | Some fs ->
+                List.filter_map
+                  (fun (f, t) ->
+                    match t with
+                    | Ir.TInt | Ir.TString | Ir.TDate ->
+                        Some (Ir.Field (Ir.Var v, f), t)
+                    | _ -> None)
+                  fs
+            | None -> [])
+        | _ -> []
+      in
+      let pairs =
+        List.concat_map
+          (fun (e1, t1) ->
+            List.filter_map
+              (fun (e2, t2) ->
+                if Ir.ty_equal t1 t2 then Some (e1, e2) else None)
+              (fields_of x2))
+          (fields_of x1)
+      in
+      List.sort_uniq compare (from_body @ G.cap 12 pairs)
+  | _ -> []
+
+(** Join pipelines: reduce(map(join(map(d1), map(d2)))). Scalar outputs
+    keyed by variable id; map outputs keyed by an expression over the
+    joined pair. *)
+let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
+    (k : G.klass) : Ir.summary Seq.t =
+  match frag.schema with
+  | F.SJoin { d1; x1; d2; x2; _ } ->
+      let keys = join_keys prog frag pools in
+      if List.is_empty keys then Seq.empty
+      else
+        let m =
+          [
+            (x1, Ir.TupleGet (Ir.Var "p", 0));
+            (x2, Ir.TupleGet (Ir.Var "p", 1));
+          ]
+        in
+        (* probes for the joined stage: p = (x1, x2) *)
+        let joined_probes =
+          List.map
+            (fun env ->
+              let get v =
+                match List.assoc_opt v env with
+                | Some x -> x
+                | None -> Value.Tuple []
+              in
+              ("p", Value.Tuple [ get x1; get x2 ]) :: env)
+            pools.G.probes
+        in
+        let substituted_harvested = Hashtbl.create 32 in
+        Hashtbl.iter
+          (fun e () -> Hashtbl.replace substituted_harvested (subst m e) ())
+          pools.G.harvested;
+        let keep e = Hashtbl.mem substituted_harvested e in
+        let size e = if keep e then 1 else Ir.expr_size e in
+        let lift_pool pool =
+          G.dedupe ~keep ~size joined_probes (List.map (subst m) pool)
+        in
+        let ints = lift_pool pools.G.ints
+        and floats = lift_pool pools.G.floats
+        and bools = lift_pool pools.G.bools in
+        let val_pool = function
+          | Ir.TInt | Ir.TDate -> ints
+          | Ir.TFloat -> floats
+          | Ir.TBool -> bools
+          | _ -> []
+        in
+        let scalars =
+          List.filter_map
+            (fun (v, t, kd) ->
+              match kd with
+              | F.KScalar -> Some (v, scalar_out_ty t)
+              | _ -> None)
+            frag.outputs
+        in
+        (match scalars with
+        | [ (out, oty) ] ->
+            let* key1, key2 = seq_of_list keys in
+            let* g =
+              seq_of_list (None :: List.map (fun b -> Some b) (G.cap 12 bools))
+            in
+            let* v = seq_of_list (G.cap 16 (val_pool oty)) in
+            Seq.map
+              (fun lr ->
+                let core =
+                  Ir.Join
+                    ( Ir.Map
+                        ( Ir.Data d1,
+                          mk_map_emits [ x1 ]
+                            [
+                              {
+                                Ir.guard = None;
+                                payload = Ir.KV (key1, Ir.Var x1);
+                              };
+                            ] ),
+                      Ir.Map
+                        ( Ir.Data d2,
+                          mk_map_emits [ x2 ]
+                            [
+                              {
+                                Ir.guard = None;
+                                payload = Ir.KV (key2, Ir.Var x2);
+                              };
+                            ] ) )
+                in
+                {
+                  Ir.pipeline =
+                    Ir.Reduce
+                      ( Ir.Map
+                          ( core,
+                            mk_map_emits [ "k"; "p" ]
+                              [
+                                {
+                                  Ir.guard = g;
+                                  payload = Ir.KV (Ir.CStr out, v);
+                                };
+                              ] ),
+                        lr );
+                  bindings = [ (out, Ir.AtKey (Value.Str out)) ];
+                })
+              (seq_of_list (G.reducers pools oty))
+        | _ -> (
+            match frag.outputs with
+            | [ (out, oty, (F.KMap | F.KArray)) ] ->
+                let vty = elem_out_ty oty in
+                let kty = key_out_ty oty in
+                let kpool =
+                  match kty with
+                  | Ir.TInt | Ir.TDate -> ints
+                  | Ir.TString -> lift_pool pools.G.strings
+                  | _ -> []
+                in
+                let* key1, key2 = seq_of_list keys in
+                let* okey = seq_of_list (G.cap 8 kpool) in
+                let* g =
+                  seq_of_list
+                    (None :: List.map (fun b -> Some b) (G.cap 12 bools))
+                in
+                let* v = seq_of_list (G.cap 16 (val_pool vty)) in
+                Seq.map
+                  (fun lr ->
+                    let core =
+                      Ir.Join
+                        ( Ir.Map
+                            ( Ir.Data d1,
+                              mk_map_emits [ x1 ]
+                                [
+                                  {
+                                    Ir.guard = None;
+                                    payload = Ir.KV (key1, Ir.Var x1);
+                                  };
+                                ] ),
+                          Ir.Map
+                            ( Ir.Data d2,
+                              mk_map_emits [ x2 ]
+                                [
+                                  {
+                                    Ir.guard = None;
+                                    payload = Ir.KV (key2, Ir.Var x2);
+                                  };
+                                ] ) )
+                    in
+                    {
+                      Ir.pipeline =
+                        Ir.Reduce
+                          ( Ir.Map
+                              ( core,
+                                mk_map_emits [ "k"; "p" ]
+                                  [
+                                    {
+                                      Ir.guard = g;
+                                      payload = Ir.KV (okey, v);
+                                    };
+                                  ] ),
+                            lr );
+                      bindings = [ (out, Ir.Whole) ];
+                    })
+                  (seq_of_list (G.reducers pools vty))
+            | _ -> Seq.empty))
+        |> fun s ->
+        ignore k;
+        s
+  | _ -> Seq.empty
+
+(* --------------------------------------------------------------- *)
+
+(** All candidates of one grammar class, cheapest shapes first. *)
+let candidates (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
+    (k : G.klass) : Ir.summary Seq.t =
+  let shapes =
+    match frag.schema with
+    | F.SJoin _ -> [ shape_join prog frag pools k ]
+    | _ ->
+        (if k.max_ops >= 1 then
+           [ shape_reduce_only frag pools k; shape_map_only frag pools k ]
+         else [])
+        @ (if k.max_ops >= 2 then
+             [
+               shape_map_reduce_keyed frag pools k;
+               shape_map_reduce_global frag pools k;
+               shape_map_reduce_collection frag pools k;
+             ]
+           else [])
+        @
+        if k.max_ops >= 3 then
+          [
+            shape_map_reduce_map_collection frag pools k;
+            shape_map_reduce_map_global frag pools k;
+          ]
+        else []
+  in
+  Seq.concat (List.to_seq shapes)

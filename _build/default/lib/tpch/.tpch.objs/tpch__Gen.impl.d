@@ -1,0 +1,1 @@
+lib/tpch/gen.ml: Array Casper_common Fmt List

@@ -1,0 +1,1 @@
+lib/tpch/sparksql.ml: Casper_common Float Hashtbl List Mapreduce String

@@ -1,0 +1,206 @@
+(** SparkSQL-substitute reference plans for the TPC-H experiments
+    (Fig. 7b).
+
+    These are hand-built physical plans with the *shapes* the paper
+    observed in SparkSQL's query plans — that is where the runtime
+    differences it reports come from:
+
+    - Q1 and Q6: SparkSQL's two-phase aggregation exchanges un-combined
+      rows (extra data shuffling), where Casper's translation combines
+      locally ("we attribute this to the extra data shuffling performed
+      by the SparkSQL query plan").
+    - Q15: the plan scans the lineitem relation twice (revenue subquery
+      + join against its max), where Casper's implementation scans it
+      once.
+    - Q17: SparkSQL schedules the correlated subquery as a broadcast
+      join and beats Casper's shuffle join by ~1.7×.
+
+    Each query returns the list of engine runs it performs; its time is
+    the sum over runs. *)
+
+module Value = Casper_common.Value
+module Plan = Mapreduce.Plan
+module Engine = Mapreduce.Engine
+
+let f = Value.field
+let fl v name = Value.as_float (f name v)
+let it v name = Value.as_int (f name v)
+let st v name = Value.as_str (f name v)
+
+type qrun = {
+  runs : Engine.run list;
+  result : Value.t list;  (** final rows, for cross-checks *)
+}
+
+(* Catalyst analysis/optimization/codegen latency per query *)
+let planning_overhead_s = 2.5
+
+let time ~cluster ~scale (q : qrun) : float =
+  planning_overhead_s
+  +. List.fold_left
+       (fun acc r -> acc +. Engine.simulate_time ~cluster ~scale r)
+       0.0 q.runs
+
+(* ---------------- Q1: pricing summary report ---------------- *)
+
+let q1 ~cluster (datasets : (string * Value.t list) list) ~(cutoff : int) :
+    qrun =
+  let open Plan in
+  (* SparkSQL's exchange ships ungrouped rows: modeled with groupByKey *)
+  let plan =
+    data "lineitem"
+    |>> filter ~label:"Filter shipdate" (fun l -> it l "l_shipdate" <= cutoff)
+    |>> map_to_pair ~label:"Project" (fun l ->
+            ( Value.Str (st l "l_returnflag" ^ st l "l_linestatus"),
+              Value.Tuple
+                [
+                  Value.Int (it l "l_quantity");
+                  Value.Float (fl l "l_extendedprice");
+                  Value.Float
+                    (fl l "l_extendedprice" *. (1.0 -. fl l "l_discount"));
+                  Value.Int 1;
+                ] ))
+    |>> group_by_key ~label:"Exchange hashpartitioning" ()
+    |>> map_values ~label:"HashAggregate" (fun vs ->
+            match vs with
+            | Value.List rows ->
+                List.fold_left
+                  (fun acc row ->
+                    match (acc, row) with
+                    | ( Value.Tuple [ Value.Int q; Value.Float b; Value.Float d; Value.Int c ],
+                        Value.Tuple [ Value.Int q'; Value.Float b'; Value.Float d'; Value.Int c' ] ) ->
+                        Value.Tuple
+                          [
+                            Value.Int (q + q');
+                            Value.Float (b +. b');
+                            Value.Float (d +. d');
+                            Value.Int (c + c');
+                          ]
+                    | _ -> acc)
+                  (Value.Tuple
+                     [ Value.Int 0; Value.Float 0.0; Value.Float 0.0; Value.Int 0 ])
+                  rows
+            | v -> v)
+  in
+  let run = Engine.run_plan ~cluster ~datasets plan in
+  { runs = [ run ]; result = run.Engine.output }
+
+(* ---------------- Q6: forecasting revenue change ---------------- *)
+
+let q6 ~cluster (datasets : (string * Value.t list) list) ~(dt1 : int)
+    ~(dt2 : int) : qrun =
+  let open Plan in
+  let plan =
+    data "lineitem"
+    |>> filter ~label:"Filter" (fun l ->
+            it l "l_shipdate" > dt1
+            && it l "l_shipdate" < dt2
+            && fl l "l_discount" >= 0.05
+            && fl l "l_discount" <= 0.07
+            && it l "l_quantity" < 24)
+    |>> map ~label:"Project revenue" (fun l ->
+            Value.Float (fl l "l_extendedprice" *. fl l "l_discount"))
+    (* two-phase agg without local combining: full exchange *)
+    |>> global_reduce ~label:"Exchange+HashAggregate" ~comm_assoc:false
+          (fun a b -> Value.Float (Value.as_float a +. Value.as_float b))
+  in
+  let run = Engine.run_plan ~cluster ~datasets plan in
+  { runs = [ run ]; result = run.Engine.output }
+
+(* ---------------- Q15: top supplier ---------------- *)
+
+let q15 ~cluster (datasets : (string * Value.t list) list) ~(dt1 : int)
+    ~(dt2 : int) : qrun =
+  let open Plan in
+  let revenue_plan =
+    data "lineitem"
+    |>> filter ~label:"Filter shipdate" (fun l ->
+            it l "l_shipdate" >= dt1 && it l "l_shipdate" < dt2)
+    |>> map_to_pair ~label:"Project" (fun l ->
+            ( Value.Int (it l "l_suppkey"),
+              Value.Float (fl l "l_extendedprice" *. (1.0 -. fl l "l_discount"))
+            ))
+    |>> reduce_by_key ~label:"HashAggregate" (fun a b ->
+            Value.Float (Value.as_float a +. Value.as_float b))
+  in
+  (* scan 1: revenue per supplier *)
+  let run1 = Engine.run_plan ~cluster ~datasets revenue_plan in
+  (* scan 2: SparkSQL recomputes the aggregate under max() instead of
+     reusing the first scan *)
+  let run2 = Engine.run_plan ~cluster ~datasets revenue_plan in
+  let max_rev =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Value.Tuple [ _; Value.Float v ] -> Float.max acc v
+        | _ -> acc)
+      neg_infinity run2.Engine.output
+  in
+  let best =
+    List.filter
+      (fun r ->
+        match r with
+        | Value.Tuple [ _; Value.Float v ] -> v = max_rev
+        | _ -> false)
+      run1.Engine.output
+  in
+  { runs = [ run1; run2 ]; result = best }
+
+(* ---------------- Q17: small-quantity-order revenue ---------------- *)
+
+let q17 ~cluster (datasets : (string * Value.t list) list) ~(brand : string)
+    ~(container : string) : qrun =
+  let open Plan in
+  (* per-part average quantity over the brand/container parts *)
+  let part_keys =
+    match List.assoc_opt "part" datasets with
+    | Some parts ->
+        List.filter_map
+          (fun p ->
+            if String.equal (st p "p_brand") brand
+               && String.equal (st p "p_container") container
+            then Some (it p "p_partkey")
+            else None)
+          parts
+    | None -> []
+  in
+  let in_part l = List.mem (it l "l_partkey") part_keys in
+  let avg_plan =
+    data "lineitem"
+    |>> filter ~label:"Filter part" in_part
+    |>> map_to_pair ~label:"Project qty" (fun l ->
+            ( Value.Int (it l "l_partkey"),
+              Value.Tuple [ Value.Int (it l "l_quantity"); Value.Int 1 ] ))
+    |>> reduce_by_key ~label:"HashAggregate" (fun a b ->
+            match (a, b) with
+            | Value.Tuple [ Value.Int q; Value.Int c ],
+              Value.Tuple [ Value.Int q'; Value.Int c' ] ->
+                Value.Tuple [ Value.Int (q + q'); Value.Int (c + c') ]
+            | _ -> a)
+  in
+  let run1 = Engine.run_plan ~cluster ~datasets avg_plan in
+  let avgs = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match r with
+      | Value.Tuple [ Value.Int k; Value.Tuple [ Value.Int q; Value.Int c ] ]
+        ->
+          Hashtbl.replace avgs k (float_of_int q /. float_of_int (max 1 c))
+      | _ -> ())
+    run1.Engine.output;
+  (* broadcast join: the average table rides along with the mappers, so
+     the big relation is never shuffled — this is the scheduling win
+     the paper credits SparkSQL with on Q17 *)
+  let final_plan =
+    data "lineitem"
+    |>> filter ~label:"Filter part (bcast)" in_part
+    |>> flat_map ~label:"BroadcastHashJoin" (fun l ->
+            match Hashtbl.find_opt avgs (it l "l_partkey") with
+            | Some avg when float_of_int (it l "l_quantity") < 0.2 *. avg ->
+                [ Value.Float (fl l "l_extendedprice") ]
+            | _ -> [])
+    |>> global_reduce ~label:"HashAggregate" (fun a b ->
+            Value.Float (Value.as_float a +. Value.as_float b))
+  in
+  let run2 = Engine.run_plan ~cluster ~datasets final_plan in
+  { runs = [ run1; run2 ]; result = run2.Engine.output }

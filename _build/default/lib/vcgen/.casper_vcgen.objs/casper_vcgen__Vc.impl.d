@@ -1,0 +1,1 @@
+lib/vcgen/vc.ml: Casper_analysis Casper_common Casper_ir Fmt List Minijava Printexc String

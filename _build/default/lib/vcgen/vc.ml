@@ -1,0 +1,210 @@
+(** Verification conditions for program summaries (paper §3.3, Figure 4).
+
+    For a fragment that iterates a dataset, Casper synthesizes the loop
+    invariant in the standard prefix form
+
+      Inv(σ, i)  ≡  bounds(i) ∧ outputs(σ) = ⟦MR⟧(data[0..i])
+
+    which turns the three Hoare clauses into executable checks:
+
+    - initiation:   outputs at loop entry  = ⟦MR⟧ over the empty prefix
+    - continuation: if outputs = ⟦MR⟧(data[0..k]) then after one more
+      iteration outputs = ⟦MR⟧(data[0..k+1])
+    - termination:  outputs at loop exit = ⟦MR⟧ over all data — the
+      program summary itself.
+
+    Because the loop body is deterministic, checking that the outputs
+    after executing the loop over every prefix of the data equal the IR
+    denotation over that prefix discharges all three clauses for the
+    given program state. The bounded and full verifiers quantify over
+    states; this module provides the per-state check. *)
+
+module F = Casper_analysis.Fragment
+module Value = Casper_common.Value
+module Multiset = Casper_common.Multiset
+module Ir = Casper_ir.Lang
+module Eval = Casper_ir.Eval
+open Minijava.Ast
+
+exception Vc_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Vc_error s)) fmt
+
+type env = Minijava.Interp.env
+
+(** Run the fragment's preceding statements to establish the entry state
+    from a generated parameter environment. *)
+let entry_of_params (prog : program) (frag : F.t) (params_env : env) : env =
+  Minijava.Interp.run_stmts prog params_env frag.pre
+
+(** Number of outer iteration units in the entry state. *)
+let outer_count (prog : program) (frag : F.t) (entry : env) : int =
+  match frag.schema with
+  | F.SList { data; _ } | F.SJoin { d1 = data; _ } ->
+      List.length (Value.as_list (List.assoc data entry))
+  | F.SArrays { bound; _ } | F.SMatrix { rows = bound; _ } ->
+      Value.as_int (Minijava.Interp.eval_expr prog entry bound)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(** The IR-side datasets of the entry state, truncated to the first [k]
+    outer units. Records follow the iteration schema: list elements as
+    themselves, counted arrays as (i, a[i], …), matrices as (i, j, v). *)
+let datasets_at (prog : program) (frag : F.t) (entry : env) (k : int) :
+    (string * Value.t list) list =
+  match frag.schema with
+  | F.SList { data; _ } ->
+      [ (data, take k (Value.as_list (List.assoc data entry))) ]
+  | F.SArrays { arrays; _ } ->
+      let cols =
+        List.map
+          (fun (a, _) -> Value.as_list (List.assoc a entry))
+          arrays
+      in
+      let records =
+        List.init k (fun i ->
+            Value.Tuple
+              (Value.Int i
+              :: List.map
+                   (fun col ->
+                     match List.nth_opt col i with
+                     | Some v -> v
+                     | None -> err "array shorter than iteration bound")
+                   cols))
+      in
+      let primary = match arrays with (a, _) :: _ -> a | [] -> err "no arrays" in
+      [ (primary, records) ]
+  | F.SMatrix { data; cols; _ } ->
+      let m = Value.as_list (List.assoc data entry) in
+      let ncols = Value.as_int (Minijava.Interp.eval_expr prog entry cols) in
+      let records =
+        List.concat
+          (List.init k (fun i ->
+               let row = Value.as_list (List.nth m i) in
+               List.init ncols (fun j ->
+                   match List.nth_opt row j with
+                   | Some v -> Value.Tuple [ Value.Int i; Value.Int j; v ]
+                   | None -> err "matrix row shorter than cols")))
+      in
+      [ (data, records) ]
+  | F.SJoin { d1; d2; _ } ->
+      [
+        (d1, take k (Value.as_list (List.assoc d1 entry)));
+        (d2, Value.as_list (List.assoc d2 entry));
+      ]
+
+(** Execute the loop over the first [k] outer units only. *)
+let run_prefix (prog : program) (frag : F.t) (entry : env) (k : int) : env =
+  let loop =
+    match (frag.loop, frag.schema) with
+    | ForEach (t, x, Var d, body), (F.SList _ | F.SJoin _) ->
+        (* iterate a truncated copy; the body still sees the full dataset
+           under its own name *)
+        let tmp = "__prefix_" ^ d in
+        Block
+          [
+            Decl (TList t, tmp, None);
+            ForEach (t, x, Var tmp, body);
+          ]
+        |> fun b -> (b, Some (d, tmp))
+    | For (init, _, upd, body), (F.SArrays { idx; _ } | F.SMatrix { i = idx; _ })
+      ->
+        (For (init, Some (Binop (Lt, Var idx, IntLit k)), upd, body), None)
+    | While (Binop (Lt, Var idx, _), body), F.SArrays { idx = idx'; _ }
+      when String.equal idx idx' ->
+        (* counted while-loop: stop after k iterations *)
+        (While (Binop (Lt, Var idx, IntLit k), body), None)
+    | l, _ -> (l, None)
+  in
+  match loop with
+  | For _ as l, None -> Minijava.Interp.run_stmts prog entry [ l ]
+  | Block [ Decl (t, tmp, None); fe ], Some (d, tmp') ->
+      assert (String.equal tmp tmp');
+      let truncated = Value.List (take k (Value.as_list (List.assoc d entry))) in
+      let env = (tmp, truncated) :: entry in
+      ignore t;
+      Minijava.Interp.run_stmts prog env [ fe ]
+  | l, _ -> Minijava.Interp.run_stmts prog entry [ l ]
+
+let shapes_of (frag : F.t) : (string * Eval.out_shape) list =
+  List.map
+    (fun (v, _, kind) ->
+      ( v,
+        match kind with
+        | F.KScalar -> Eval.Scalar
+        | F.KArray -> Eval.Arr
+        | F.KMap -> Eval.MapAssoc ))
+    frag.outputs
+
+(** Canonicalize a Java [Map] value (bag of key-value tuples) for
+    comparison. *)
+let canon_output kind (v : Value.t) : Value.t =
+  match (kind, v) with
+  | F.KMap, Value.List pairs -> Value.List (List.sort Value.compare pairs)
+  | _ -> v
+
+type check_result =
+  | Holds
+  | Fails of { prefix : int; var : string; expected : Value.t; got : Value.t }
+  | Ir_error of string  (** the summary itself is not evaluable *)
+  | State_skipped of string  (** the sequential code faulted on this state *)
+
+(** Check all three VC clauses of the candidate summary on one entry
+    state: compare sequential execution against the IR denotation on
+    every prefix of the data (prefix 0 = initiation, successive prefixes
+    = continuation, full data = termination). *)
+let check_state (prog : program) (frag : F.t) (summary : Ir.summary)
+    (entry : env) : check_result =
+  let shapes = shapes_of frag in
+  match outer_count prog frag entry with
+  | exception e -> State_skipped (Printexc.to_string e)
+  | n -> (
+      let rec go k =
+        if k > n then Holds
+        else
+          let seq_env =
+            try Some (run_prefix prog frag entry k) with
+            | Minijava.Interp.Runtime_error _ -> None
+          in
+          match seq_env with
+          | None -> State_skipped (Fmt.str "sequential fault at prefix %d" k)
+          | Some seq_env -> (
+              let datasets = datasets_at prog frag entry k in
+              match
+                Eval.apply_summary entry datasets entry shapes summary
+              with
+              | exception Eval.Eval_error m -> Ir_error m
+              | exception Value.Type_error m -> Ir_error m
+              | mr_out ->
+                  let bad =
+                    List.find_map
+                      (fun (v, _, kind) ->
+                        let expected =
+                          canon_output kind (List.assoc v seq_env)
+                        in
+                        match List.assoc_opt v mr_out with
+                        | None -> Some (v, expected, Value.Str "<missing>")
+                        | Some got ->
+                            let got = canon_output kind got in
+                            if Value.equal_approx expected got then None
+                            else Some (v, expected, got))
+                      frag.outputs
+                  in
+                  (match bad with
+                  | Some (var, expected, got) ->
+                      Fails { prefix = k; var; expected; got }
+                  | None -> go (k + 1)))
+      in
+      try go 0 with Vc_error m -> Ir_error m)
+
+(** Render the symbolic VC clauses for documentation / debugging output
+    (the shape of Figure 4(b)). *)
+let pp_clauses ppf (frag : F.t) =
+  let d = F.primary_dataset frag in
+  let outs = String.concat ", " (List.map (fun (v, _, _) -> v) frag.outputs) in
+  Fmt.pf ppf
+    "@[<v>Inv(%s, i) ≡ 0 <= i <= |%s| ∧ (%s) = ⟦MR⟧(%s[0..i])@,\
+     Initiation:   (i = 0) → Inv(%s, i)@,\
+     Continuation: Inv(%s, i) ∧ i < |%s| → Inv(step(%s), i+1)@,\
+     Termination:  Inv(%s, i) ∧ ¬(i < |%s|) → PS(%s)@]"
+    outs d outs d outs outs d outs outs d outs

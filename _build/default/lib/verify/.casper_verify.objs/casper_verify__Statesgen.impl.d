@@ -1,0 +1,1 @@
+lib/verify/statesgen.ml: Casper_analysis Casper_common List Minijava

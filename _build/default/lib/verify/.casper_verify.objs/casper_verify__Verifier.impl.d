@@ -1,0 +1,1 @@
+lib/verify/verifier.ml: Casper_analysis Casper_common Casper_ir Casper_vcgen List Minijava Statesgen

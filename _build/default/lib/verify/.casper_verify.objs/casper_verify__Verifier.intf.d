@@ -1,0 +1,1 @@
+lib/verify/verifier.mli: Casper_analysis Casper_common Casper_ir Minijava

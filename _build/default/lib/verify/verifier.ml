@@ -1,0 +1,108 @@
+(** The two verification phases (paper §3.4, §4.1).
+
+    {b Bounded model checking} (phase 1, the Sketch substitute): check the
+    candidate over a small finite domain of program states. Fast, used
+    inside the CEGIS loop; returns a counter-example state on failure.
+
+    {b Full verification} (phase 2, the Dafny/Z3 substitute): discharge
+    the inductive VC over a much larger domain — more states, larger
+    datasets, adversarial values. A candidate that only holds on the
+    bounded domain (e.g. one that conflates [v] with [min(4,v)]) passes
+    phase 1 and is rejected here, triggering Casper's grammar-blocking
+    loop. This is a testing-based prover: "verified" means the induction
+    step held on every state in the large checked domain, not a
+    mechanized proof (see DESIGN.md, Substitutions). *)
+
+module F = Casper_analysis.Fragment
+module Vc = Casper_vcgen.Vc
+module Ir = Casper_ir.Lang
+module Value = Casper_common.Value
+open Minijava.Ast
+
+type outcome =
+  | Valid
+  | Counterexample of Minijava.Interp.env  (** a parameter env that refutes *)
+  | Invalid_summary of string  (** the candidate is not even evaluable *)
+
+(** Check one candidate over a batch of parameter environments. *)
+let check_batch (prog : program) (frag : F.t) (summary : Ir.summary)
+    (batch : Minijava.Interp.env list) : outcome =
+  let rec go = function
+    | [] -> Valid
+    | params :: rest -> (
+        match Vc.entry_of_params prog frag params with
+        | exception Minijava.Interp.Runtime_error _ -> go rest
+        | entry -> (
+            match Vc.check_state prog frag summary entry with
+            | Vc.Holds -> go rest
+            | Vc.State_skipped _ -> go rest
+            | Vc.Fails _ -> Counterexample params
+            | Vc.Ir_error m -> Invalid_summary m))
+  in
+  go batch
+
+(** Phase 1: bounded model checking over the small domain. *)
+let bounded_check ?(seed = 11) ?(count = 24) (prog : program) (frag : F.t)
+    (summary : Ir.summary) : outcome =
+  let dom = Statesgen.bounded_domain frag in
+  check_batch prog frag summary
+    (Statesgen.gen_batch ~seed ~count dom prog frag)
+
+(** Phase 2: full verification over the large domain. *)
+let full_verify ?(seed = 1301) ?(count = 64) (prog : program) (frag : F.t)
+    (summary : Ir.summary) : outcome =
+  let dom = Statesgen.full_domain frag in
+  check_batch prog frag summary
+    (Statesgen.gen_batch ~seed ~count dom prog frag)
+
+(** Does the candidate hold on this specific set of states? Used by the
+    CEGIS inner loop against its counter-example set Φ. *)
+let holds_on (prog : program) (frag : F.t) (summary : Ir.summary)
+    (states : Minijava.Interp.env list) : bool =
+  match check_batch prog frag summary states with Valid -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic properties of reducers (§5.1's ϵ, §6.3's reduceByKey vs
+   groupByKey decision).                                               *)
+
+let sample_values (rng : Casper_common.Rng.t) (ty : Ir.ty) ~n : Value.t list =
+  let rec gen (t : Ir.ty) : Value.t =
+    match t with
+    | Ir.TInt | Ir.TDate -> Value.Int (Casper_common.Rng.int_range rng (-50) 50)
+    | Ir.TFloat -> Value.Float (Casper_common.Rng.float_range rng (-10.0) 10.0)
+    | Ir.TBool -> Value.Bool (Casper_common.Rng.bool rng)
+    | Ir.TString ->
+        Value.Str (Casper_common.Rng.word rng ~min_len:1 ~max_len:3)
+    | Ir.TTuple ts -> Value.Tuple (List.map gen ts)
+    | Ir.TPair (a, b) -> Value.Tuple [ gen a; gen b ]
+    | Ir.TRecord _ | Ir.TBag _ -> Value.Tuple []
+  in
+  List.init n (fun _ -> gen ty)
+
+let apply_r env (lr : Ir.lam_r) a b =
+  Casper_ir.Eval.apply_lam_r env lr a b
+
+(** Test commutativity and associativity of λr over its value type by
+    randomized checking. Conservative: any evaluation error counts as
+    "property does not hold". *)
+let reducer_props ?(trials = 48) (env : Casper_ir.Eval.env) (lr : Ir.lam_r)
+    (vty : Ir.ty) : [ `Comm_assoc | `Not_comm_assoc ] =
+  let rng = Casper_common.Rng.create 4242 in
+  let ok = ref true in
+  (try
+     for _ = 1 to trials do
+       match sample_values rng vty ~n:3 with
+       | [ a; b; c ] ->
+           let comm =
+             Value.equal_approx (apply_r env lr a b) (apply_r env lr b a)
+           in
+           let assoc =
+             Value.equal_approx
+               (apply_r env lr (apply_r env lr a b) c)
+               (apply_r env lr a (apply_r env lr b c))
+           in
+           if not (comm && assoc) then ok := false
+       | _ -> ()
+     done
+   with _ -> ok := false);
+  if !ok then `Comm_assoc else `Not_comm_assoc

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Casper_analysis Casper_common Casper_ir Casper_suites List Minijava Parser Typecheck

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Casper_analysis Casper_common Casper_ir Casper_suites Fold_ir List Mapreduce Minijava Tpch

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Casper_analysis Casper_codegen Casper_common Casper_ir Casper_synth Casper_vcgen Float List Mapreduce Minijava Parser String

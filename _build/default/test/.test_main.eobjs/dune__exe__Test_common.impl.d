@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Casper_common Fun List QCheck QCheck_alcotest String

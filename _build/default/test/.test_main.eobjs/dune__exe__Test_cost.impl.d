@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Casper_common Casper_cost Casper_ir List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Casper_common Casper_suites Float List Mapreduce

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Casper_codegen Casper_common Casper_ir Float List Mapreduce String

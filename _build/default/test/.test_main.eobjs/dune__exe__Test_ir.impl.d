@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Casper_common Casper_ir List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_minijava.ml: Alcotest Ast Casper_common Interp Lexer List Loopnorm Minijava Parser QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Ast Casper_analysis Casper_common Casper_ir Casper_synth Casper_verify List Minijava Parser

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Casper_analysis Casper_common Casper_ir Casper_vcgen Casper_verify List Minijava Parser

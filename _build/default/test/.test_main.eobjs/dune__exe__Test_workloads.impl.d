@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Casper_common Casper_suites Float Fmt List Mapreduce Minijava

@@ -1,0 +1,245 @@
+(** Tests for the program analyzer: fragment identification, iteration
+    schemas, fact extraction, feature classification and the failure
+    taxonomy. *)
+
+module An = Casper_analysis.Analyze
+module F = Casper_analysis.Fragment
+module Value = Casper_common.Value
+open Minijava
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let frags src =
+  An.fragments_of_program (Parser.parse_program src) ~suite:"t" ~benchmark:"t"
+
+let one src =
+  match frags src with [ f ] -> f | l ->
+    Alcotest.failf "expected 1 fragment, got %d" (List.length l)
+
+let test_schema_list () =
+  let f =
+    one
+      "int f(List<Integer> d) { int s = 0; for (int x : d) s += x; return s; }"
+  in
+  (match f.F.schema with
+  | F.SList { data = "d"; elem = "x"; _ } -> ()
+  | _ -> Alcotest.fail "expected SList");
+  check "translatable" true (f.F.unsupported = None);
+  check "output s" true
+    (List.exists (fun (v, _, _) -> v = "s") f.F.outputs)
+
+let test_schema_arrays () =
+  let f =
+    one
+      "double f(double[] x, double[] y, int n) { double s = 0; for (int i = 0; i < n; i++) s += x[i] * y[i]; return s; }"
+  in
+  match f.F.schema with
+  | F.SArrays { idx = "i"; arrays; _ } ->
+      check_int "two arrays zipped" 2 (List.length arrays)
+  | _ -> Alcotest.fail "expected SArrays"
+
+let test_schema_matrix () =
+  let f =
+    one
+      {|int[] f(int[][] m, int rows, int cols) {
+          int[] out = new int[rows];
+          for (int i = 0; i < rows; i++) {
+            int s = 0;
+            for (int j = 0; j < cols; j++) s += m[i][j];
+            out[i] = s;
+          }
+          return out;
+        }|}
+  in
+  (match f.F.schema with
+  | F.SMatrix { data = "m"; i = "i"; j = "j"; _ } -> ()
+  | _ -> Alcotest.fail "expected SMatrix");
+  check "s is a loop local, not an output" true
+    (not (List.exists (fun (v, _, _) -> v = "s") f.F.outputs))
+
+let test_schema_join () =
+  let f =
+    one
+      {|class A { int k; } class B { int k2; }
+        int f(List<A> xs, List<B> ys) {
+          int c = 0;
+          for (A a : xs) { for (B b : ys) { if (a.k == b.k2) c += 1; } }
+          return c;
+        }|}
+  in
+  match f.F.schema with
+  | F.SJoin { d1 = "xs"; d2 = "ys"; _ } -> ()
+  | _ -> Alcotest.fail "expected SJoin"
+
+let test_unsupported_stencil () =
+  let f =
+    one
+      {|double[] f(double[] x, int n) {
+          double[] o = new double[n];
+          for (int i = 0; i < n - 1; i++) o[i] = x[i] + x[i + 1];
+          return o;
+        }|}
+  in
+  check "cross-record access flagged" true
+    (f.F.unsupported = Some F.Transformer_needs_loop)
+
+let test_unsupported_broadcast () =
+  let f =
+    one
+      {|double f(double[] x, int n, double[] best, int k) {
+          for (int i = 0; i < n; i++) {
+            for (int j = 0; j < k; j++) {
+              if (x[i] > best[j]) best[j] = x[i];
+            }
+          }
+          return best[0];
+        }|}
+  in
+  check "broadcast flagged" true (f.F.unsupported = Some F.Broadcast_mapper)
+
+let test_unsupported_early_exit () =
+  let f =
+    one
+      {|boolean f(List<Integer> d, int key) {
+          boolean found = false;
+          for (int x : d) { if (x == key) { found = true; break; } }
+          return found;
+        }|}
+  in
+  check "break flagged" true (f.F.unsupported = Some F.Early_exit)
+
+let test_unsupported_method () =
+  let f =
+    one
+      {|double f(double[] x, int n) {
+          double s = 0;
+          for (int i = 0; i < n; i++) s += ImageJ.mystery(x[i]);
+          return s;
+        }|}
+  in
+  (match f.F.unsupported with
+  | Some (F.Unmodeled_method m) ->
+      check "names the method" true (m = "ImageJ.mystery")
+  | _ -> Alcotest.fail "expected unmodeled method")
+
+let test_facts_extraction () =
+  let f =
+    one
+      {|double f(List<Integer> d, int t) {
+          double s = 0;
+          for (int x : d) { if (x > t) s += x * 2.5; }
+          return s;
+        }|}
+  in
+  check "constant 2.5 extracted" true
+    (List.exists (Value.equal (Value.Float 2.5)) f.F.constants);
+  check "Gt operator extracted" true
+    (List.mem Casper_ir.Lang.Gt f.F.operators);
+  check "t is an input scalar" true
+    (List.mem_assoc "t" f.F.input_scalars);
+  check "conditional feature" true
+    (List.mem F.FConditionals f.F.features)
+
+let test_multiple_fragments () =
+  let fs =
+    frags
+      {|int f(int[] a, int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) s += a[i];
+          int c = 0;
+          for (int i = 0; i < n; i++) c += 1;
+          return s + c;
+        }|}
+  in
+  check_int "two fragments" 2 (List.length fs);
+  check "ids distinct" true
+    ((List.nth fs 0).F.frag_id <> (List.nth fs 1).F.frag_id)
+
+let test_map_output_detected () =
+  let f =
+    one
+      {|Map<String, Integer> f(List<String> ws) {
+          Map<String, Integer> m = new HashMap<>();
+          for (String w : ws) m.put(w, m.getOrDefault(w, 0) + 1);
+          return m;
+        }|}
+  in
+  check "map output kind" true
+    (List.exists (fun (v, _, k) -> v = "m" && k = F.KMap) f.F.outputs)
+
+let test_features_matrix () =
+  let f =
+    one
+      {|int f(int[][] m, int r, int c) {
+          int s = 0;
+          for (int i = 0; i < r; i++) {
+            for (int j = 0; j < c; j++) s += m[i][j];
+          }
+          return s;
+        }|}
+  in
+  check "multidim feature" true (List.mem F.FMultidimDataset f.F.features);
+  check "nested loops feature" true (List.mem F.FNestedLoops f.F.features)
+
+let test_ir_ty_mapping () =
+  check "list to bag" true
+    (An.ir_ty (Ast.TList Ast.TString) = Casper_ir.Lang.TBag Casper_ir.Lang.TString);
+  check "class to record" true
+    (An.ir_ty (Ast.TClass "P") = Casper_ir.Lang.TRecord "P");
+  check "long to int" true (An.ir_ty Ast.TLong = Casper_ir.Lang.TInt)
+
+(* every suite benchmark parses, type-checks and yields the right
+   fragment census (the denominators of Table 1) *)
+let test_suite_fragment_counts () =
+  List.iter
+    (fun ((suite_name : string), expected) ->
+      let benches = List.assoc suite_name Casper_suites.Registry.suites in
+      let n =
+        List.fold_left
+          (fun acc (b : Casper_suites.Suite.benchmark) ->
+            let prog = Parser.parse_program b.source in
+            Typecheck.check_program prog;
+            acc
+            + List.length
+                (An.fragments_of_program prog ~suite:suite_name
+                   ~benchmark:b.name))
+          0 benches
+      in
+      check_int (suite_name ^ " fragments") expected n)
+    [
+      ("Phoenix", 11); ("Ariths", 11); ("Stats", 19); ("Biglambda", 8);
+      ("Fiji", 35); ("TPC-H", 10); ("Iterative", 7);
+    ]
+
+let suite =
+  [
+    ( "analysis.schema",
+      [
+        Alcotest.test_case "list" `Quick test_schema_list;
+        Alcotest.test_case "parallel arrays" `Quick test_schema_arrays;
+        Alcotest.test_case "matrix" `Quick test_schema_matrix;
+        Alcotest.test_case "join" `Quick test_schema_join;
+      ] );
+    ( "analysis.unsupported",
+      [
+        Alcotest.test_case "stencil" `Quick test_unsupported_stencil;
+        Alcotest.test_case "broadcast" `Quick test_unsupported_broadcast;
+        Alcotest.test_case "early exit" `Quick test_unsupported_early_exit;
+        Alcotest.test_case "unmodeled method" `Quick test_unsupported_method;
+      ] );
+    ( "analysis.facts",
+      [
+        Alcotest.test_case "constants/operators/inputs" `Quick
+          test_facts_extraction;
+        Alcotest.test_case "multiple fragments" `Quick test_multiple_fragments;
+        Alcotest.test_case "map output" `Quick test_map_output_detected;
+        Alcotest.test_case "matrix features" `Quick test_features_matrix;
+        Alcotest.test_case "type mapping" `Quick test_ir_ty_mapping;
+      ] );
+    ( "analysis.suite-census",
+      [
+        Alcotest.test_case "Table 1 fragment counts" `Quick
+          test_suite_fragment_counts;
+      ] );
+  ]

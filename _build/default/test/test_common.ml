@@ -1,0 +1,247 @@
+(** Unit and property tests for the shared substrate: values, multisets,
+    the deterministic RNG, library-method models, and table rendering. *)
+
+module Value = Casper_common.Value
+module Multiset = Casper_common.Multiset
+module Rng = Casper_common.Rng
+module Library = Casper_common.Library
+module T = Casper_common.Tablefmt
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------------- Value ---------------- *)
+
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun i -> Value.Int i) small_signed_int;
+            map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+            map (fun b -> Value.Bool b) bool;
+            map (fun s -> Value.Str s) (string_size (int_bound 6));
+          ]
+      else
+        frequency
+          [
+            (3, self 0);
+            ( 1,
+              map (fun l -> Value.Tuple l)
+                (list_size (int_bound 3) (self (n / 2))) );
+            ( 1,
+              map (fun l -> Value.List l)
+                (list_size (int_bound 3) (self (n / 2))) );
+          ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_refl =
+  QCheck.Test.make ~name:"Value.compare is reflexive" ~count:200 value_arb
+    (fun v -> Value.compare v v = 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"Value.compare is antisymmetric" ~count:200
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      Value.compare a b = -Value.compare b a)
+
+let prop_equal_approx_refl =
+  QCheck.Test.make ~name:"equal_approx is reflexive (no NaN)" ~count:200
+    value_arb (fun v -> Value.equal_approx v v)
+
+let prop_size_positive =
+  QCheck.Test.make ~name:"size_of is positive" ~count:200 value_arb (fun v ->
+      Value.size_of v > 0)
+
+let test_sizes () =
+  check_int "bool size (paper: 10)" 10 (Value.size_of (Value.Bool true));
+  check_int "int size" 12 (Value.size_of (Value.Int 5));
+  check_int "pair of bools (paper: 28)" 28
+    (Value.size_of (Value.Tuple [ Value.Bool true; Value.Bool false ]))
+
+let test_equal_approx_float () =
+  check "close floats equal" true
+    (Value.equal_approx (Value.Float 1.0) (Value.Float (1.0 +. 1e-12)));
+  check "distant floats differ" false
+    (Value.equal_approx (Value.Float 1.0) (Value.Float 1.1));
+  check "infinities equal" true
+    (Value.equal_approx (Value.Float infinity) (Value.Float infinity));
+  check "nan equals nan (by convention)" true
+    (Value.equal_approx (Value.Float nan) (Value.Float nan));
+  check "int is not float" false
+    (Value.equal_approx (Value.Int 3) (Value.Float 3.0))
+
+let test_accessors () =
+  check_int "as_int" 7 (Value.as_int (Value.Int 7));
+  Alcotest.(check (float 0.0)) "as_float promotes ints" 7.0
+    (Value.as_float (Value.Int 7));
+  check "field lookup" true
+    (Value.equal
+       (Value.field "x" (Value.Struct ("P", [ ("x", Value.Int 1) ])))
+       (Value.Int 1));
+  Alcotest.check_raises "missing field raises"
+    (Value.Type_error "no field y in P{x=1}") (fun () ->
+      ignore (Value.field "y" (Value.Struct ("P", [ ("x", Value.Int 1) ]))))
+
+(* ---------------- Multiset ---------------- *)
+
+let prop_bag_equal_shuffle =
+  QCheck.Test.make ~name:"bag equality is order-insensitive" ~count:100
+    QCheck.(list small_int)
+    (fun l ->
+      let vs = List.map (fun i -> Value.Int i) l in
+      let rng = Rng.create 5 in
+      Multiset.equal_values vs (Rng.shuffle rng vs))
+
+let test_group_by_key () =
+  let pairs =
+    [
+      (Value.Str "a", Value.Int 1);
+      (Value.Str "b", Value.Int 2);
+      (Value.Str "a", Value.Int 3);
+    ]
+  in
+  let groups = Multiset.group_by_key pairs in
+  check_int "two groups" 2 (List.length groups);
+  let a_vals =
+    List.assoc (Value.Str "a")
+      (List.map (fun (k, v) -> (k, v)) groups)
+  in
+  check_int "group a has 2 values" 2 (List.length a_vals)
+
+let prop_group_preserves_count =
+  QCheck.Test.make ~name:"group_by_key preserves value count" ~count:100
+    QCheck.(list (pair (int_bound 5) small_int))
+    (fun l ->
+      let pairs = List.map (fun (k, v) -> (Value.Int k, Value.Int v)) l in
+      let groups = Multiset.group_by_key pairs in
+      List.length l
+      = List.fold_left (fun a (_, vs) -> a + List.length vs) 0 groups)
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  check "same seed, same stream" true
+    (List.init 20 (fun _ -> Rng.int a 1000)
+    = List.init 20 (fun _ -> Rng.int b 1000))
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_zipf_bounds =
+  QCheck.Test.make ~name:"Rng.zipf stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.zipf rng ~n ~s:1.0 in
+      v >= 0 && v < n)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 1 in
+  check "p=0 never fires" false
+    (List.exists (fun _ -> Rng.bernoulli rng 0.0) (List.init 50 Fun.id));
+  check "p=1 always fires" true
+    (List.for_all (fun _ -> Rng.bernoulli rng 1.0) (List.init 50 Fun.id))
+
+(* ---------------- Library models ---------------- *)
+
+let test_library_math () =
+  check "min" true
+    (Value.equal (Library.apply "Math.min" [ Value.Int 3; Value.Int 5 ]) (Value.Int 3));
+  check "max mixed promotes" true
+    (Value.equal_approx
+       (Library.apply "Math.max" [ Value.Int 3; Value.Float 5.5 ])
+       (Value.Float 5.5));
+  check "abs" true
+    (Value.equal (Library.apply "Math.abs" [ Value.Int (-4) ]) (Value.Int 4));
+  check "sqrt" true
+    (Value.equal_approx
+       (Library.apply "Math.sqrt" [ Value.Float 9.0 ])
+       (Value.Float 3.0))
+
+let test_library_strings () =
+  check "equals" true
+    (Value.equal
+       (Library.apply "String.equals" [ Value.Str "ab"; Value.Str "ab" ])
+       (Value.Bool true));
+  check "contains" true
+    (Value.equal
+       (Library.apply "String.contains" [ Value.Str "xkidsy"; Value.Str "kids" ])
+       (Value.Bool true));
+  check "contains negative" true
+    (Value.equal
+       (Library.apply "String.contains" [ Value.Str "xyz"; Value.Str "kids" ])
+       (Value.Bool false));
+  check "startsWith" true
+    (Value.equal
+       (Library.apply "String.startsWith" [ Value.Str "ERROR: x"; Value.Str "ERROR" ])
+       (Value.Bool true))
+
+let test_library_dates () =
+  let d1 = Library.parse_date "1994-01-01" in
+  let d2 = Library.parse_date "1995-06-15" in
+  check "date order" true (d1 < d2);
+  check "before" true
+    (Value.equal
+       (Library.apply "Date.before" [ Value.Int d1; Value.Int d2 ])
+       (Value.Bool true));
+  Alcotest.check_raises "unknown method raises"
+    (Library.Unknown_method "Nope.nope/0") (fun () ->
+      ignore (Library.apply "Nope.nope" []))
+
+(* ---------------- Tablefmt ---------------- *)
+
+let test_tablefmt () =
+  let s = T.render [ [ "a"; "bb" ]; [ "ccc"; "d" ] ] in
+  check "render has separators" true (String.length s > 0);
+  check "rows aligned" true
+    (List.for_all
+       (fun l -> String.length l = String.length (List.hd (String.split_on_char '\n' s)))
+       (String.split_on_char '\n' s));
+  check_str "fx formats" "2.5x" (T.fx 2.54)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [
+    ( "common.value",
+      [
+        Alcotest.test_case "paper byte sizes" `Quick test_sizes;
+        Alcotest.test_case "approx float equality" `Quick
+          test_equal_approx_float;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+      ] );
+    qsuite "common.value.props"
+      [
+        prop_compare_refl;
+        prop_compare_antisym;
+        prop_equal_approx_refl;
+        prop_size_positive;
+      ];
+    ( "common.multiset",
+      [ Alcotest.test_case "group_by_key" `Quick test_group_by_key ] );
+    qsuite "common.multiset.props"
+      [ prop_bag_equal_shuffle; prop_group_preserves_count ];
+    ( "common.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+      ] );
+    qsuite "common.rng.props" [ prop_rng_bounds; prop_zipf_bounds ];
+    ( "common.library",
+      [
+        Alcotest.test_case "math models" `Quick test_library_math;
+        Alcotest.test_case "string models" `Quick test_library_strings;
+        Alcotest.test_case "date models" `Quick test_library_dates;
+      ] );
+    ( "common.tablefmt",
+      [ Alcotest.test_case "render" `Quick test_tablefmt ] );
+  ]

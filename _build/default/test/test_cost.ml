@@ -1,0 +1,153 @@
+(** Tests for the cost model: Eqn 2–4 arithmetic, stage composition,
+    the ϵ penalty, dominance pruning, and the Figure 8d worked example. *)
+
+module Ir = Casper_ir.Lang
+module Cost = Casper_cost.Cost
+module Infer = Casper_ir.Infer
+
+let check = Alcotest.(check bool)
+
+let tenv = { Infer.vars = []; structs = [] }
+let record_ty _ = Ir.TString
+let card _ = 1000.0
+let ca_eps _ _ = 1.0
+let est ?(gp = 1.0) () = Cost.static_estimator ~guard_prob:gp ~reduce_eps:ca_eps ()
+
+let cost ?gp s =
+  Cost.cost_of_summary tenv record_ty card (est ?gp ()) s
+
+let mk_map ?guard key value =
+  { Ir.m_params = [ "w" ]; emits = [ { Ir.guard; payload = Ir.KV (key, value) } ] }
+
+let add_r = { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Binop (Ir.Add, Ir.Var "v1", Ir.Var "v2") }
+let or_r = { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Binop (Ir.Or, Ir.Var "v1", Ir.Var "v2") }
+
+let keyed_bool ?guard () =
+  {
+    Ir.pipeline =
+      Ir.Reduce (Ir.Map (Ir.Data "d", mk_map ?guard (Ir.Var "w") (Ir.CBool true)), or_r);
+    bindings = [ ("o", Ir.AtKey (Casper_common.Value.Str "o")) ];
+  }
+
+let test_map_cost_formula () =
+  (* map-only: Wm(=1) · N · sizeOf(pair) · p; pair = (string 40, bool 10)
+     + 8 overhead = 58 bytes *)
+  let s =
+    { Ir.pipeline = Ir.Map (Ir.Data "d", mk_map (Ir.Var "w") (Ir.CBool true));
+      bindings = [ ("o", Ir.Whole) ] }
+  in
+  Alcotest.(check (float 1.0)) "map cost" (1000.0 *. 58.0) (cost s)
+
+let test_guard_probability_scales () =
+  let g = Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k") in
+  let s = keyed_bool ~guard:g () in
+  check "p=0 < p=1" true (cost ~gp:0.0 s < cost ~gp:1.0 s);
+  check "p=0 leaves only fixed reduce input" true (cost ~gp:0.0 s < 1.0)
+
+let test_non_ca_penalty () =
+  let eps lr _ =
+    match lr.Ir.r_body with Ir.Var _ -> Cost.w_csg | _ -> 1.0
+  in
+  let non_ca = { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Var "v1" } in
+  let s lr =
+    {
+      Ir.pipeline =
+        Ir.Reduce (Ir.Map (Ir.Data "d", mk_map (Ir.Var "w") (Ir.CBool true)), lr);
+      bindings = [ ("o", Ir.AtKey (Casper_common.Value.Str "o")) ];
+    }
+  in
+  let e = Cost.static_estimator ~guard_prob:1.0 ~reduce_eps:eps () in
+  let c lr = Cost.cost_of_summary tenv record_ty card e (s lr) in
+  check "Wcsg penalty applies" true (c non_ca > c or_r *. 10.0)
+
+let test_dominance () =
+  (* unguarded (a) always costs at least as much as guarded (c) *)
+  let a = keyed_bool () in
+  let c = keyed_bool ~guard:(Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k")) () in
+  check "(c) dominates (a)" true
+    (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps c a);
+  check "(a) does not dominate (c)" true
+    (not (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps a c))
+
+let test_prune_dominated () =
+  let a = keyed_bool () in
+  let c = keyed_bool ~guard:(Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k")) () in
+  let survivors =
+    Cost.prune_dominated tenv record_ty card ~reduce_eps:ca_eps
+      [ (a, "a"); (c, "c") ]
+  in
+  check "only (c) survives" true (List.map snd survivors = [ "c" ])
+
+(* Figure 8d: solutions (b) and (c) are not statically comparable *)
+let test_fig8_incomparable () =
+  let sol_b =
+    {
+      Ir.pipeline =
+        Ir.Reduce
+          ( Ir.Map
+              ( Ir.Data "d",
+                {
+                  Ir.m_params = [ "w" ];
+                  emits =
+                    [
+                      {
+                        Ir.guard = None;
+                        payload =
+                          Ir.Val
+                            (Ir.MkTuple
+                               [
+                                 Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k1");
+                                 Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k2");
+                               ]);
+                      };
+                    ];
+                } ),
+            {
+              Ir.r_left = "v1";
+              r_right = "v2";
+              r_body =
+                Ir.MkTuple
+                  [
+                    Ir.Binop (Ir.Or, Ir.TupleGet (Ir.Var "v1", 0), Ir.TupleGet (Ir.Var "v2", 0));
+                    Ir.Binop (Ir.Or, Ir.TupleGet (Ir.Var "v1", 1), Ir.TupleGet (Ir.Var "v2", 1));
+                  ];
+            } );
+      bindings = [ ("k1f", Ir.Proj (Some 0)); ("k2f", Ir.Proj (Some 1)) ];
+    }
+  in
+  let sol_c = keyed_bool ~guard:(Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k1")) () in
+  check "(b) vs (c) incomparable" true
+    ((not (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps sol_b sol_c))
+    && not (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps sol_c sol_b));
+  (* and the crossover exists: (c) cheaper at p=0, (b) cheaper at p=1 *)
+  check "(c) wins at p=0" true (cost ~gp:0.0 sol_c < cost ~gp:0.0 sol_b);
+  check "(b) wins at p=1" true (cost ~gp:1.0 sol_b < cost ~gp:1.0 sol_c)
+
+let prop_cost_monotone_in_n =
+  QCheck.Test.make ~name:"cost is monotone in N" ~count:50
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (n1, n2) ->
+      let s = keyed_bool () in
+      let c n =
+        Cost.cost_of_summary tenv record_ty
+          (fun _ -> float_of_int n)
+          (est ()) s
+      in
+      (n1 <= n2) = (c n1 <= c n2))
+
+let suite =
+  [
+    ( "cost.model",
+      [
+        Alcotest.test_case "map cost formula" `Quick test_map_cost_formula;
+        Alcotest.test_case "guard probability" `Quick
+          test_guard_probability_scales;
+        Alcotest.test_case "non-CA penalty" `Quick test_non_ca_penalty;
+        Alcotest.test_case "dominance" `Quick test_dominance;
+        Alcotest.test_case "prune dominated" `Quick test_prune_dominated;
+        Alcotest.test_case "Fig 8d incomparability" `Quick
+          test_fig8_incomparable;
+      ] );
+    ( "cost.props",
+      List.map QCheck_alcotest.to_alcotest [ prop_cost_monotone_in_n ] );
+  ]

@@ -1,0 +1,194 @@
+(** Tests for the MapReduce engine: stage semantics, metrics accounting,
+    combiner behaviour, the join, and the wall-clock model. *)
+
+module Plan = Mapreduce.Plan
+module Engine = Mapreduce.Engine
+module Cluster = Mapreduce.Cluster
+module Value = Casper_common.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let vint n = Value.Int n
+let ints l = List.map vint l
+let add_i a b = vint (Value.as_int a + Value.as_int b)
+let run ?(cluster = Cluster.spark) ?(datasets = []) plan =
+  Engine.run_plan ~cluster ~datasets plan
+
+let kv k v = Value.Tuple [ k; v ]
+
+let test_flat_map () =
+  let p = Plan.(data "d" |>> flat_map (fun x -> [ x; x ])) in
+  let r = run ~datasets:[ ("d", ints [ 1; 2 ]) ] p in
+  check_int "doubles records" 4 (List.length r.Engine.output)
+
+let test_filter_map_values () =
+  let p =
+    Plan.(
+      data "d"
+      |>> filter (fun x -> Value.as_int x > 1)
+      |>> map_to_pair (fun x -> (x, x))
+      |>> map_values (fun v -> add_i v (vint 10)))
+  in
+  let r = run ~datasets:[ ("d", ints [ 1; 2; 3 ]) ] p in
+  check "values shifted" true
+    (Casper_common.Multiset.equal_values r.Engine.output
+       [ kv (vint 2) (vint 12); kv (vint 3) (vint 13) ])
+
+let test_reduce_by_key_result () =
+  let p =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 2), x))
+      |>> reduce_by_key add_i)
+  in
+  let r = run ~datasets:[ ("d", ints [ 1; 2; 3; 4 ]) ] p in
+  check "parity sums" true
+    (Casper_common.Multiset.equal_values r.Engine.output
+       [ kv (vint 0) (vint 6); kv (vint 1) (vint 4) ])
+
+let test_combiner_does_not_change_result () =
+  let p ca =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 3), x))
+      |>> reduce_by_key ~comm_assoc:ca add_i)
+  in
+  (* enough records that every partition holds several per key *)
+  let d = ints (List.init 2000 (fun i -> i)) in
+  let r1 = run ~datasets:[ ("d", d) ] (p true) in
+  let r2 = run ~datasets:[ ("d", d) ] (p false) in
+  check "same output" true
+    (Casper_common.Multiset.equal_values r1.Engine.output r2.Engine.output);
+  check "combiner shuffles less" true
+    (Engine.total_shuffled r1 < Engine.total_shuffled r2)
+
+let test_group_by_key () =
+  let p =
+    Plan.(
+      data "d" |>> map_to_pair (fun x -> (vint 0, x)) |>> group_by_key ())
+  in
+  let r = run ~datasets:[ ("d", ints [ 1; 2 ]) ] p in
+  match r.Engine.output with
+  | [ Value.Tuple [ _; Value.List vs ] ] -> check_int "grouped" 2 (List.length vs)
+  | _ -> Alcotest.fail "expected one group"
+
+let test_global_reduce () =
+  let p = Plan.(data "d" |>> global_reduce add_i) in
+  let r = run ~datasets:[ ("d", ints [ 5; 6 ]) ] p in
+  check "total" true (r.Engine.output = [ vint 11 ]);
+  let empty = run ~datasets:[ ("d", []) ] p in
+  check "empty input" true (empty.Engine.output = [])
+
+let test_join () =
+  let left = Plan.(data "a" |>> map_to_pair (fun x -> (x, x))) in
+  let right = Plan.(data "b" |>> map_to_pair (fun x -> (x, add_i x (vint 10)))) in
+  let p = Plan.(left |>> join_with right) in
+  let r =
+    run ~datasets:[ ("a", ints [ 1; 2 ]); ("b", ints [ 2; 3 ]) ] p
+  in
+  check "one match on key 2" true
+    (Casper_common.Multiset.equal_values r.Engine.output
+       [ kv (vint 2) (Value.Tuple [ vint 2; vint 12 ]) ]);
+  (* the right side's stage metrics are accounted *)
+  check "nested metrics present" true (List.length r.Engine.stages >= 2)
+
+let test_metrics_bytes () =
+  let p = Plan.(data "d" |>> map (fun x -> x)) in
+  let r = run ~datasets:[ ("d", ints [ 1; 2; 3 ]) ] p in
+  check_int "input records" 3 r.Engine.input_records;
+  check "bytes positive" true (r.Engine.input_bytes > 0);
+  let m = List.hd r.Engine.stages in
+  check_int "bytes in = out for identity" m.Engine.bytes_in m.Engine.bytes_out
+
+let test_unknown_dataset () =
+  match run Plan.(data "nope") with
+  | exception Engine.Engine_error _ -> ()
+  | _ -> Alcotest.fail "expected engine error"
+
+let test_shuffle_count () =
+  let p =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (x, x))
+      |>> reduce_by_key add_i
+      |>> map_values (fun v -> v)
+      |>> global_reduce add_i)
+  in
+  check_int "two shuffles" 2 (Plan.shuffle_count p)
+
+(* ---------------- time model ---------------- *)
+
+let wc_run n =
+  let rng = Casper_common.Rng.create 1 in
+  let words =
+    Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:50 ~skew:1.0)
+  in
+  let p =
+    Plan.(
+      data "w" |>> map_to_pair (fun w -> (w, vint 1)) |>> reduce_by_key add_i)
+  in
+  run ~datasets:[ ("w", words) ] p
+
+let test_time_monotone_in_scale () =
+  let r = wc_run 500 in
+  let t1 = Engine.simulate_time ~cluster:Cluster.spark ~scale:1e3 r in
+  let t2 = Engine.simulate_time ~cluster:Cluster.spark ~scale:1e5 r in
+  check "more data, more time" true (t2 > t1)
+
+let test_framework_ordering () =
+  let r = wc_run 500 in
+  let t c = Engine.simulate_time ~cluster:c ~scale:1e5 r in
+  check "spark fastest" true (t Cluster.spark < t Cluster.flink);
+  check "hadoop slowest" true (t Cluster.flink < t Cluster.hadoop)
+
+let test_sequential_time_linear () =
+  let t1 = Engine.sequential_time ~scale:1.0 ~records:1000 ~bytes:10000 () in
+  let t2 = Engine.sequential_time ~scale:2.0 ~records:1000 ~bytes:10000 () in
+  check "scales linearly" true (Float.abs ((t2 /. t1) -. 2.0) < 1e-6);
+  let t3 = Engine.sequential_time ~scale:1.0 ~passes:3 ~records:1000 ~bytes:10000 () in
+  check "passes multiply" true (Float.abs ((t3 /. t1) -. 3.0) < 1e-6)
+
+let test_combiner_cap_effect () =
+  (* the effective shuffle volume of a combined reduction must not blow
+     up with scale the way the raw sample volume does *)
+  let r = wc_run 2000 in
+  let eff = Engine.effective_shuffled ~scale:1e6 r in
+  let linear = float_of_int (Engine.total_shuffled r) *. 1e6 in
+  check "cap engaged at large scale" true (eff < linear /. 10.0)
+
+let test_speedup_grows_with_scale () =
+  let r = wc_run 500 in
+  let speedup scale =
+    Engine.sequential_time ~scale ~records:500 ~bytes:r.Engine.input_bytes ()
+    /. Engine.simulate_time ~cluster:Cluster.spark ~scale r
+  in
+  check "Fig 9 shape: speedup grows" true (speedup 1e6 > speedup 1e4)
+
+let suite =
+  [
+    ( "engine.stages",
+      [
+        Alcotest.test_case "flat_map" `Quick test_flat_map;
+        Alcotest.test_case "filter + mapValues" `Quick test_filter_map_values;
+        Alcotest.test_case "reduceByKey" `Quick test_reduce_by_key_result;
+        Alcotest.test_case "combiner invariance" `Quick
+          test_combiner_does_not_change_result;
+        Alcotest.test_case "groupByKey" `Quick test_group_by_key;
+        Alcotest.test_case "global reduce" `Quick test_global_reduce;
+        Alcotest.test_case "join" `Quick test_join;
+        Alcotest.test_case "metrics" `Quick test_metrics_bytes;
+        Alcotest.test_case "unknown dataset" `Quick test_unknown_dataset;
+        Alcotest.test_case "shuffle count" `Quick test_shuffle_count;
+      ] );
+    ( "engine.time",
+      [
+        Alcotest.test_case "monotone in scale" `Quick
+          test_time_monotone_in_scale;
+        Alcotest.test_case "framework ordering" `Quick test_framework_ordering;
+        Alcotest.test_case "sequential linearity" `Quick
+          test_sequential_time_linear;
+        Alcotest.test_case "combiner cap" `Quick test_combiner_cap_effect;
+        Alcotest.test_case "speedup grows with size" `Quick
+          test_speedup_grows_with_scale;
+      ] );
+  ]

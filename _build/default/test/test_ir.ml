@@ -1,0 +1,341 @@
+(** Tests for the high-level IR: evaluator semantics of map/reduce/join,
+    summary application, type inference and pretty-printing. *)
+
+module Ir = Casper_ir.Lang
+module Eval = Casper_ir.Eval
+module Infer = Casper_ir.Infer
+module Value = Casper_common.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let vint n = Value.Int n
+
+let ints l = List.map vint l
+
+let id_map params key value =
+  { Ir.m_params = params; emits = [ { Ir.guard = None; payload = Ir.KV (key, value) } ] }
+
+let add_r = { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Binop (Ir.Add, Ir.Var "v1", Ir.Var "v2") }
+
+(* ---------------- expression evaluation ---------------- *)
+
+let test_eval_arith () =
+  let e = Ir.Binop (Ir.Add, Ir.CInt 2, Ir.Binop (Ir.Mul, Ir.CInt 3, Ir.CInt 4)) in
+  check "2+3*4" true (Value.equal (Eval.eval_expr [] e) (vint 14));
+  let f = Ir.Binop (Ir.Div, Ir.CFloat 1.0, Ir.CFloat 4.0) in
+  check "float div" true
+    (Value.equal_approx (Eval.eval_expr [] f) (Value.Float 0.25))
+
+let test_eval_minmax_strings () =
+  check "min binop" true
+    (Value.equal
+       (Eval.eval_expr [] (Ir.Binop (Ir.Min, Ir.CInt 3, Ir.CInt (-2))))
+       (vint (-2)));
+  check "string concat" true
+    (Value.equal
+       (Eval.eval_expr [] (Ir.Binop (Ir.Add, Ir.CStr "a", Ir.CStr "b")))
+       (Value.Str "ab"))
+
+let test_eval_div_zero () =
+  match Eval.eval_expr [] (Ir.Binop (Ir.Div, Ir.CInt 1, Ir.CInt 0)) with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected eval error"
+
+let test_eval_tuple_field () =
+  let env = [ ("p", Value.Struct ("P", [ ("x", vint 4) ])) ] in
+  check "field" true
+    (Value.equal (Eval.eval_expr env (Ir.Field (Ir.Var "p", "x"))) (vint 4));
+  check "tuple get" true
+    (Value.equal
+       (Eval.eval_expr []
+          (Ir.TupleGet (Ir.MkTuple [ Ir.CInt 7; Ir.CInt 8 ], 1)))
+       (vint 8))
+
+let test_eval_if_shortcircuit () =
+  (* the else branch divides by zero; must not be evaluated *)
+  let e = Ir.If (Ir.CBool true, Ir.CInt 1, Ir.Binop (Ir.Div, Ir.CInt 1, Ir.CInt 0)) in
+  check "lazy if" true (Value.equal (Eval.eval_expr [] e) (vint 1));
+  let a = Ir.Binop (Ir.And, Ir.CBool false, Ir.Binop (Ir.Eq, Ir.Binop (Ir.Div, Ir.CInt 1, Ir.CInt 0), Ir.CInt 1)) in
+  check "lazy and" true (Value.equal (Eval.eval_expr [] a) (Value.Bool false))
+
+(* ---------------- map / reduce / join ---------------- *)
+
+let test_map_keyed () =
+  let node = Ir.Map (Ir.Data "d", id_map [ "x" ] (Ir.Var "x") (Ir.CInt 1)) in
+  match Eval.eval_node [] [ ("d", ints [ 5; 5; 6 ]) ] node with
+  | Eval.Pairs kvs -> check_int "3 pairs" 3 (List.length kvs)
+  | _ -> Alcotest.fail "expected pairs"
+
+let test_map_guard () =
+  let lm =
+    {
+      Ir.m_params = [ "x" ];
+      emits =
+        [
+          {
+            Ir.guard = Some (Ir.Binop (Ir.Gt, Ir.Var "x", Ir.CInt 0));
+            payload = Ir.KV (Ir.CStr "k", Ir.Var "x");
+          };
+        ];
+    }
+  in
+  match
+    Eval.eval_node [] [ ("d", ints [ -1; 2; 3 ]) ] (Ir.Map (Ir.Data "d", lm))
+  with
+  | Eval.Pairs kvs -> check_int "guard filters" 2 (List.length kvs)
+  | _ -> Alcotest.fail "expected pairs"
+
+let test_reduce_by_key () =
+  let node =
+    Ir.Reduce (Ir.Map (Ir.Data "d", id_map [ "x" ] (Ir.Var "x") (Ir.CInt 1)), add_r)
+  in
+  match Eval.eval_node [] [ ("d", ints [ 5; 5; 6 ]) ] node with
+  | Eval.Pairs kvs ->
+      check_int "2 keys" 2 (List.length kvs);
+      check "count of 5s" true
+        (List.exists (fun (k, v) -> Value.equal k (vint 5) && Value.equal v (vint 2)) kvs)
+  | _ -> Alcotest.fail "expected pairs"
+
+let test_global_reduce () =
+  let lm = { Ir.m_params = [ "x" ]; emits = [ { Ir.guard = None; payload = Ir.Val (Ir.Var "x") } ] } in
+  match
+    Eval.eval_node [] [ ("d", ints [ 1; 2; 3 ]) ]
+      (Ir.Reduce (Ir.Map (Ir.Data "d", lm), add_r))
+  with
+  | Eval.Vals [ v ] -> check "sum 6" true (Value.equal v (vint 6))
+  | _ -> Alcotest.fail "expected single value"
+
+let test_reduce_empty () =
+  match Eval.eval_node [] [ ("d", []) ] (Ir.Reduce (Ir.Data "d", add_r)) with
+  | Eval.Vals [] -> ()
+  | _ -> Alcotest.fail "expected empty"
+
+let test_join () =
+  let mk d x = Ir.Map (Ir.Data d, id_map [ x ] (Ir.Var x) (Ir.Var x)) in
+  match
+    Eval.eval_node []
+      [ ("a", ints [ 1; 2 ]); ("b", ints [ 2; 2; 3 ]) ]
+      (Ir.Join (mk "a" "x", mk "b" "y"))
+  with
+  | Eval.Pairs kvs ->
+      (* key 2 matches twice *)
+      check_int "2 matches" 2 (List.length kvs)
+  | _ -> Alcotest.fail "expected pairs"
+
+let test_mixed_emits_rejected () =
+  let lm =
+    {
+      Ir.m_params = [ "x" ];
+      emits =
+        [
+          { Ir.guard = None; payload = Ir.KV (Ir.Var "x", Ir.Var "x") };
+          { Ir.guard = None; payload = Ir.Val (Ir.Var "x") };
+        ];
+    }
+  in
+  match Eval.eval_node [] [ ("d", ints [ 1 ]) ] (Ir.Map (Ir.Data "d", lm)) with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected error on mixed emits"
+
+(* ---------------- summary application ---------------- *)
+
+let test_apply_summary_scalar_default () =
+  (* empty data: the scalar keeps its entry value (initiation case) *)
+  let s =
+    {
+      Ir.pipeline =
+        Ir.Reduce (Ir.Map (Ir.Data "d", id_map [ "x" ] (Ir.CStr "s") (Ir.Var "x")), add_r);
+      bindings = [ ("s", Ir.AtKey (Value.Str "s")) ];
+    }
+  in
+  let out =
+    Eval.apply_summary [] [ ("d", []) ] [ ("s", vint 42) ] [ ("s", Eval.Scalar) ] s
+  in
+  check "default to entry" true (Value.equal (List.assoc "s" out) (vint 42))
+
+let test_apply_summary_array () =
+  let s =
+    {
+      Ir.pipeline =
+        Ir.Reduce
+          ( Ir.Map
+              ( Ir.Data "d",
+                {
+                  Ir.m_params = [ "i"; "v" ];
+                  emits = [ { Ir.guard = None; payload = Ir.KV (Ir.Var "i", Ir.Var "v") } ];
+                } ),
+            add_r );
+      bindings = [ ("a", Ir.Whole) ];
+    }
+  in
+  let records = [ Value.Tuple [ vint 0; vint 5 ]; Value.Tuple [ vint 0; vint 2 ] ] in
+  let out =
+    Eval.apply_summary []
+      [ ("d", records) ]
+      [ ("a", Value.List (ints [ 0; 9 ])) ]
+      [ ("a", Eval.Arr) ] s
+  in
+  check "index 0 summed, index 1 kept" true
+    (Value.equal (List.assoc "a" out) (Value.List (ints [ 7; 9 ])))
+
+let test_apply_summary_array_oob () =
+  let s =
+    {
+      Ir.pipeline = Ir.Map (Ir.Data "d", id_map [ "x" ] (Ir.CInt 5) (Ir.Var "x"));
+      bindings = [ ("a", Ir.Whole) ];
+    }
+  in
+  match
+    Eval.apply_summary [] [ ("d", ints [ 1 ]) ]
+      [ ("a", Value.List (ints [ 0 ])) ]
+      [ ("a", Eval.Arr) ] s
+  with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds key must invalidate the summary"
+
+let test_apply_summary_proj () =
+  let lm =
+    {
+      Ir.m_params = [ "x" ];
+      emits =
+        [ { Ir.guard = None; payload = Ir.Val (Ir.MkTuple [ Ir.Var "x"; Ir.Var "x" ]) } ];
+    }
+  in
+  let tup_r =
+    {
+      Ir.r_left = "v1";
+      r_right = "v2";
+      r_body =
+        Ir.MkTuple
+          [
+            Ir.Binop (Ir.Min, Ir.TupleGet (Ir.Var "v1", 0), Ir.TupleGet (Ir.Var "v2", 0));
+            Ir.Binop (Ir.Max, Ir.TupleGet (Ir.Var "v1", 1), Ir.TupleGet (Ir.Var "v2", 1));
+          ];
+    }
+  in
+  let s =
+    {
+      Ir.pipeline = Ir.Reduce (Ir.Map (Ir.Data "d", lm), tup_r);
+      bindings = [ ("mn", Ir.Proj (Some 0)); ("mx", Ir.Proj (Some 1)) ];
+    }
+  in
+  let out =
+    Eval.apply_summary [] [ ("d", ints [ 4; -1; 9 ]) ]
+      [ ("mn", vint 100); ("mx", vint (-100)) ]
+      [ ("mn", Eval.Scalar); ("mx", Eval.Scalar) ]
+      s
+  in
+  check "min" true (Value.equal (List.assoc "mn" out) (vint (-1)));
+  check "max" true (Value.equal (List.assoc "mx" out) (vint 9))
+
+(* reduce over a bag is fold-left in bag order: for assoc+comm reducers
+   the result is permutation-independent *)
+let prop_reduce_perm_invariant =
+  QCheck.Test.make ~name:"assoc reduce is permutation-invariant" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_bound 12) (int_range (-50) 50))
+    (fun l ->
+      QCheck.assume (l <> []);
+      let run data =
+        match
+          Eval.eval_node []
+            [ ("d", data) ]
+            (Ir.Reduce (Ir.Data "d", add_r))
+        with
+        | Eval.Vals [ v ] -> v
+        | _ -> Value.Int min_int
+      in
+      let rng = Casper_common.Rng.create 3 in
+      Value.equal (run (ints l)) (run (Casper_common.Rng.shuffle rng (ints l))))
+
+(* ---------------- type inference ---------------- *)
+
+let tenv = { Infer.vars = [ ("n", Ir.TInt); ("s", Ir.TString) ]; structs = [ ("P", [ ("x", Ir.TFloat) ]) ] }
+
+let test_infer_exprs () =
+  check "int + int" true (Infer.infer tenv (Ir.Binop (Ir.Add, Ir.Var "n", Ir.CInt 1)) = Ir.TInt);
+  check "int + float promotes" true
+    (Infer.infer tenv (Ir.Binop (Ir.Add, Ir.Var "n", Ir.CFloat 1.0)) = Ir.TFloat);
+  check "cmp is bool" true
+    (Infer.infer tenv (Ir.Binop (Ir.Lt, Ir.Var "n", Ir.CInt 3)) = Ir.TBool);
+  check "string concat" true
+    (Infer.infer tenv (Ir.Binop (Ir.Add, Ir.Var "s", Ir.Var "s")) = Ir.TString);
+  check "tuple" true
+    (Infer.infer tenv (Ir.MkTuple [ Ir.CInt 1; Ir.CBool true ])
+    = Ir.TTuple [ Ir.TInt; Ir.TBool ])
+
+let test_infer_node () =
+  let record_ty _ = Ir.TRecord "P" in
+  let lm =
+    { Ir.m_params = [ "p" ];
+      emits = [ { Ir.guard = None; payload = Ir.KV (Ir.CStr "k", Ir.Field (Ir.Var "p", "x")) } ] }
+  in
+  match Infer.infer_node tenv record_ty (Ir.Map (Ir.Data "d", lm)) with
+  | `KVs (Ir.TString, Ir.TFloat) -> ()
+  | _ -> Alcotest.fail "wrong inferred kv types"
+
+let test_infer_illtyped () =
+  match Infer.infer tenv (Ir.Binop (Ir.Add, Ir.CBool true, Ir.CInt 1)) with
+  | exception Infer.Ill_typed _ -> ()
+  | _ -> Alcotest.fail "expected ill-typed"
+
+(* ---------------- printing & metrics ---------------- *)
+
+let test_pp_and_metrics () =
+  let s =
+    {
+      Ir.pipeline =
+        Ir.Map
+          ( Ir.Reduce (Ir.Map (Ir.Data "mat", id_map [ "i"; "j"; "v" ] (Ir.Var "i") (Ir.Var "v")), add_r),
+            id_map [ "k"; "v" ] (Ir.Var "k") (Ir.Binop (Ir.Div, Ir.Var "v", Ir.Var "cols")) );
+      bindings = [ ("m", Ir.Whole) ];
+    }
+  in
+  let str = Ir.summary_to_string s in
+  check "non-trivial rendering" true (String.length str > 20);
+  check_int "3 ops" 3 (Ir.op_count s.Ir.pipeline);
+  check_int "depth" 3 (Ir.node_depth s.Ir.pipeline);
+  check_int "expr size of v/cols" 3
+    (Ir.expr_size (Ir.Binop (Ir.Div, Ir.Var "v", Ir.Var "cols")))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [
+    ( "ir.eval.expr",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+        Alcotest.test_case "min/max/strings" `Quick test_eval_minmax_strings;
+        Alcotest.test_case "division by zero" `Quick test_eval_div_zero;
+        Alcotest.test_case "tuple & field" `Quick test_eval_tuple_field;
+        Alcotest.test_case "lazy if/and" `Quick test_eval_if_shortcircuit;
+      ] );
+    ( "ir.eval.nodes",
+      [
+        Alcotest.test_case "map keyed" `Quick test_map_keyed;
+        Alcotest.test_case "guarded map" `Quick test_map_guard;
+        Alcotest.test_case "reduce by key" `Quick test_reduce_by_key;
+        Alcotest.test_case "global reduce" `Quick test_global_reduce;
+        Alcotest.test_case "reduce empty" `Quick test_reduce_empty;
+        Alcotest.test_case "join" `Quick test_join;
+        Alcotest.test_case "mixed emits rejected" `Quick
+          test_mixed_emits_rejected;
+      ] );
+    ( "ir.eval.summary",
+      [
+        Alcotest.test_case "scalar default" `Quick
+          test_apply_summary_scalar_default;
+        Alcotest.test_case "array rebuild" `Quick test_apply_summary_array;
+        Alcotest.test_case "array out of bounds" `Quick
+          test_apply_summary_array_oob;
+        Alcotest.test_case "tuple projection" `Quick test_apply_summary_proj;
+      ] );
+    qsuite "ir.eval.props" [ prop_reduce_perm_invariant ];
+    ( "ir.infer",
+      [
+        Alcotest.test_case "expressions" `Quick test_infer_exprs;
+        Alcotest.test_case "pipeline" `Quick test_infer_node;
+        Alcotest.test_case "ill-typed" `Quick test_infer_illtyped;
+      ] );
+    ( "ir.pp",
+      [ Alcotest.test_case "printing & metrics" `Quick test_pp_and_metrics ] );
+  ]

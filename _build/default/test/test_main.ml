@@ -1,0 +1,9 @@
+(** Test entry point: aggregates all module suites. *)
+
+let () =
+  Alcotest.run "casper"
+    (Test_common.suite @ Test_minijava.suite @ Test_ir.suite
+   @ Test_analysis.suite @ Test_verify.suite @ Test_synth.suite
+   @ Test_engine.suite @ Test_cost.suite @ Test_codegen.suite
+   @ Test_baselines.suite @ Test_extensions.suite @ Test_workloads.suite
+   @ Test_suites.suite)

@@ -1,0 +1,328 @@
+(** Tests for the synthesizer: expression lifting, grammar generation,
+    incremental classes, and end-to-end CEGIS on representative
+    fragments. *)
+
+module An = Casper_analysis.Analyze
+module F = Casper_analysis.Fragment
+module Ir = Casper_ir.Lang
+module G = Casper_synth.Grammar
+module Lift = Casper_synth.Lift
+module Cegis = Casper_synth.Cegis
+open Minijava
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fragment src =
+  let prog = Parser.parse_program src in
+  ( prog,
+    List.hd (An.fragments_of_program prog ~suite:"t" ~benchmark:"t") )
+
+let fast_config = { Cegis.default_config with Cegis.max_candidates = 60_000 }
+
+(* ---------------- lifting ---------------- *)
+
+let test_lift_harvest () =
+  let prog, frag =
+    fragment
+      {|double f(double[] x, int n, double t) {
+          double s = 0;
+          for (int i = 0; i < n; i++) { if (x[i] > t) s += x[i] * 2.0; }
+          return s;
+        }|}
+  in
+  let h = Lift.harvest prog frag in
+  check "product lifted" true
+    (List.mem (Ir.Binop (Ir.Mul, Ir.Var "x", Ir.CFloat 2.0)) h);
+  check "guard lifted" true
+    (List.mem (Ir.Binop (Ir.Gt, Ir.Var "x", Ir.Var "t")) h);
+  (* output accumulator expressions must NOT be liftable *)
+  check "no s references" true
+    (List.for_all (fun e -> not (List.mem "s" (Ir.expr_vars e))) h)
+
+(* lifted expressions agree with the interpreter on matched states *)
+let test_lift_semantics () =
+  let prog, frag =
+    fragment
+      "int f(int[] a, int n) { int s = 0; for (int i = 0; i < n; i++) s += a[i] * a[i]; return s; }"
+  in
+  let lifted = Lift.lift frag prog (Ast.Binop (Ast.Mul, Ast.Index (Ast.Var "a", Ast.Var "i"), Ast.Index (Ast.Var "a", Ast.Var "i"))) in
+  match lifted with
+  | Some e ->
+      (* λm params: (i, a); binding a = 7 must give 49 *)
+      let v =
+        Casper_ir.Eval.eval_expr
+          [ ("i", Casper_common.Value.Int 0); ("a", Casper_common.Value.Int 7) ]
+          e
+      in
+      check "square" true (Casper_common.Value.equal v (Casper_common.Value.Int 49))
+  | None -> Alcotest.fail "expected lift to succeed"
+
+let test_record_params () =
+  let _, frag =
+    fragment
+      {|int[] f(int[][] m, int r, int c) {
+          int[] o = new int[r];
+          for (int i = 0; i < r; i++) {
+            int s = 0;
+            for (int j = 0; j < c; j++) s += m[i][j];
+            o[i] = s;
+          }
+          return o;
+        }|}
+  in
+  check "matrix params (i, j, v)" true
+    (List.map fst (Lift.record_params frag) = [ "i"; "j"; "v" ])
+
+(* ---------------- grammar classes ---------------- *)
+
+let test_class_hierarchy () =
+  let _, frag =
+    fragment
+      "int f(List<Integer> d) { int s = 0; for (int x : d) s += x; return s; }"
+  in
+  let classes = G.classes frag in
+  check_int "four classes" 4 (List.length classes);
+  check "ops monotone" true
+    (let ops = List.map (fun k -> k.G.max_ops) classes in
+     List.sort compare ops = ops);
+  check "emits monotone" true
+    (let e = List.map (fun k -> k.G.max_emits) classes in
+     List.sort compare e = e)
+
+let test_join_class () =
+  let _, frag =
+    fragment
+      {|class A { int k; } class B { int k2; }
+        int f(List<A> xs, List<B> ys) {
+          int c = 0;
+          for (A a : xs) { for (B b : ys) { if (a.k == b.k2) c += 1; } }
+          return c;
+        }|}
+  in
+  check_int "single join class" 1 (List.length (G.classes frag))
+
+let test_pools_typed () =
+  let prog, frag =
+    fragment
+      "double f(double[] x, int n) { double s = 0; for (int i = 0; i < n; i++) s += x[i]; return s; }"
+  in
+  let probes = Cegis.make_probes prog frag in
+  let pools = G.build prog frag probes in
+  check "float pool has the element" true
+    (List.mem (Ir.Var "x") pools.G.floats);
+  check "int pool has the index" true (List.mem (Ir.Var "i") pools.G.ints);
+  (* every pool member type-checks at its pool's type *)
+  let tenv = G.tenv_of pools in
+  check "floats well typed" true
+    (List.for_all
+       (fun e ->
+         match Casper_ir.Infer.infer tenv e with
+         | Ir.TFloat -> true
+         | _ -> false
+         | exception _ -> false)
+       pools.G.floats)
+
+let test_dedupe_keeps_harvested () =
+  let probes = [ [ ("x", Casper_common.Value.Int 1) ] ] in
+  (* x+0 and x are observationally equal; keep must protect the second *)
+  let kept =
+    G.dedupe
+      ~keep:(fun e -> e = Ir.Binop (Ir.Add, Ir.Var "x", Ir.CInt 0))
+      probes
+      [ Ir.Var "x"; Ir.Binop (Ir.Add, Ir.Var "x", Ir.CInt 0) ]
+  in
+  check_int "both kept" 2 (List.length kept);
+  let dropped = G.dedupe probes [ Ir.Var "x"; Ir.Binop (Ir.Add, Ir.Var "x", Ir.CInt 0) ] in
+  check_int "without keep, one dropped" 1 (List.length dropped)
+
+(* ---------------- end-to-end synthesis ---------------- *)
+
+let synth src =
+  let prog, frag = fragment src in
+  (frag, Cegis.find_summary ~config:fast_config prog frag)
+
+let test_synth_sum () =
+  let _, r = synth
+    "int f(int[] d, int n) { int s = 0; for (int i = 0; i < n; i++) s += d[i]; return s; }"
+  in
+  check "found" true (not (List.is_empty r.Cegis.solutions))
+
+let test_synth_conditional_count () =
+  let _, r = synth
+    "int f(int[] d, int n, int t) { int c = 0; for (int i = 0; i < n; i++) { if (d[i] > t) c += 1; } return c; }"
+  in
+  check "found" true (not (List.is_empty r.Cegis.solutions));
+  (* the cheapest solution must have a guarded emit *)
+  let best = List.hd r.Cegis.solutions in
+  let has_guard =
+    match best.Cegis.summary.Ir.pipeline with
+    | Ir.Reduce (Ir.Map (_, { Ir.emits; _ }), _) ->
+        List.exists (fun e -> e.Ir.guard <> None) emits
+    | _ -> false
+  in
+  check "guarded emit" true has_guard
+
+let test_synth_two_outputs () =
+  let _, r = synth
+    {|double f(double[] d, int n) {
+        double s = 0;
+        double q = 0;
+        for (int i = 0; i < n; i++) { s += d[i]; q += d[i] * d[i]; }
+        return q - s;
+      }|}
+  in
+  check "variance-style pair found" true (not (List.is_empty r.Cegis.solutions))
+
+let test_synth_minmax_tuple () =
+  let _, r = synth
+    {|int f(int[] d, int n) {
+        int lo = 1000000;
+        int hi = -1000000;
+        for (int i = 0; i < n; i++) {
+          if (d[i] < lo) lo = d[i];
+          if (d[i] > hi) hi = d[i];
+        }
+        return hi - lo;
+      }|}
+  in
+  check "delta-style found" true (not (List.is_empty r.Cegis.solutions))
+
+let test_synth_no_solution_argmax () =
+  let _, r = synth
+    {|int f(int[] d, int n) {
+        int best = -1000000;
+        int bi = 0;
+        for (int i = 0; i < n; i++) { if (d[i] > best) { best = d[i]; bi = i; } }
+        return bi;
+      }|}
+  in
+  check "argmax has no summary in the IR space" true
+    (List.is_empty r.Cegis.solutions)
+
+let test_synth_all_solutions_verify () =
+  let prog, frag = fragment
+    "boolean f(List<String> ws, String k) { boolean found = false; for (String w : ws) { if (w.equals(k)) found = true; } return found; }"
+  in
+  let r = Cegis.find_summary ~config:fast_config prog frag in
+  check "found some" true (not (List.is_empty r.Cegis.solutions));
+  List.iter
+    (fun (s : Cegis.solution) ->
+      match Casper_verify.Verifier.full_verify prog frag s.Cegis.summary with
+      | Casper_verify.Verifier.Valid -> ()
+      | _ -> Alcotest.fail "returned solution does not verify")
+    r.Cegis.solutions
+
+let test_synth_costs_sorted () =
+  let prog, frag = fragment
+    "int f(int[] d, int n) { int s = 0; for (int i = 0; i < n; i++) s += d[i]; return s; }"
+  in
+  let r = Cegis.find_summary ~config:fast_config prog frag in
+  let costs = List.map (fun s -> s.Cegis.static_cost) r.Cegis.solutions in
+  check "cost-sorted" true (List.sort compare costs = costs)
+
+let test_blocking_makes_progress () =
+  (* with explore_all, the same summary never appears twice *)
+  let prog, frag = fragment
+    "int f(int[] d, int n) { int s = 0; for (int i = 0; i < n; i++) s += d[i]; return s; }"
+  in
+  let r =
+    Cegis.find_summary
+      ~config:{ fast_config with Cegis.explore_all = true; max_solutions = 50 }
+      prog frag
+  in
+  let keys = List.map (fun s -> Ir.summary_to_string s.Cegis.summary) r.Cegis.solutions in
+  check "no duplicates" true
+    (List.length keys = List.length (List.sort_uniq compare keys))
+
+let test_unsupported_short_circuits () =
+  let prog, frag = fragment
+    {|double[] f(double[] x, int n) {
+        double[] o = new double[n];
+        for (int i = 0; i < n - 1; i++) o[i] = x[i] + x[i + 1];
+        return o;
+      }|}
+  in
+  let r = Cegis.find_summary ~config:fast_config prog frag in
+  check_int "no candidates tried" 0 r.Cegis.stats.Cegis.candidates_tried;
+  check "no solutions" true (List.is_empty r.Cegis.solutions)
+
+let base_suite =
+  [
+    ( "synth.lift",
+      [
+        Alcotest.test_case "harvest" `Quick test_lift_harvest;
+        Alcotest.test_case "lift semantics" `Quick test_lift_semantics;
+        Alcotest.test_case "record params" `Quick test_record_params;
+      ] );
+    ( "synth.grammar",
+      [
+        Alcotest.test_case "class hierarchy" `Quick test_class_hierarchy;
+        Alcotest.test_case "join class" `Quick test_join_class;
+        Alcotest.test_case "typed pools" `Quick test_pools_typed;
+        Alcotest.test_case "dedupe keeps harvested" `Quick
+          test_dedupe_keeps_harvested;
+      ] );
+    ( "synth.cegis",
+      [
+        Alcotest.test_case "sum" `Quick test_synth_sum;
+        Alcotest.test_case "conditional count" `Quick
+          test_synth_conditional_count;
+        Alcotest.test_case "two outputs" `Quick test_synth_two_outputs;
+        Alcotest.test_case "min/max tuple" `Slow test_synth_minmax_tuple;
+        Alcotest.test_case "argmax unreachable" `Slow
+          test_synth_no_solution_argmax;
+        Alcotest.test_case "all solutions verify" `Quick
+          test_synth_all_solutions_verify;
+        Alcotest.test_case "costs sorted" `Quick test_synth_costs_sorted;
+        Alcotest.test_case "blocking: no duplicates" `Quick
+          test_blocking_makes_progress;
+        Alcotest.test_case "unsupported short-circuits" `Quick
+          test_unsupported_short_circuits;
+      ] );
+  ]
+
+(* ---------------- §6.1 features: inlining & while loops ---------------- *)
+
+let test_inline_user_method () =
+  let _, r = synth
+    {|double gauss(double x) { return Math.exp(0.0 - x * x); }
+      double f(double[] d, int n) {
+        double s = 0;
+        for (int i = 0; i < n; i++) s += gauss(d[i]);
+        return s;
+      }|}
+  in
+  check "inlined helper synthesizes" true (not (List.is_empty r.Cegis.solutions))
+
+let test_while_counted_loop () =
+  let frag, r = synth
+    {|int f(int[] d, int n) {
+        int s = 0;
+        int i = 0;
+        while (i < n) {
+          s += d[i];
+          i = i + 1;
+        }
+        return s;
+      }|}
+  in
+  (match frag.F.schema with
+  | F.SArrays { idx = "i"; _ } -> ()
+  | _ -> Alcotest.fail "expected counted-while SArrays schema");
+  check "counter is not an output" true
+    (not (List.exists (fun (v, _, _) -> v = "i") frag.F.outputs));
+  check "while loop synthesizes" true (not (List.is_empty r.Cegis.solutions))
+
+let extra_suite =
+  [
+    ( "synth.java-features",
+      [
+        Alcotest.test_case "user method inlining (§6.1)" `Quick
+          test_inline_user_method;
+        Alcotest.test_case "counted while loop (§6.1)" `Quick
+          test_while_counted_loop;
+      ] );
+  ]
+
+let suite = base_suite @ extra_suite

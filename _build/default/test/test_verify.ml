@@ -1,0 +1,190 @@
+(** Tests for VC checking and the two-phase verifier: valid summaries
+    pass, subtly-wrong summaries are caught (bounded-domain artifacts by
+    the full phase), and reducer property analysis is sound. *)
+
+module An = Casper_analysis.Analyze
+module F = Casper_analysis.Fragment
+module Vc = Casper_vcgen.Vc
+module V = Casper_verify.Verifier
+module Ir = Casper_ir.Lang
+module Value = Casper_common.Value
+open Minijava
+
+let check = Alcotest.(check bool)
+
+let fragment src =
+  let prog = Parser.parse_program src in
+  ( prog,
+    List.hd (An.fragments_of_program prog ~suite:"t" ~benchmark:"t") )
+
+let sum_src =
+  "int sum(int[] data, int n) { int s = 0; for (int i = 0; i < n; i++) s += data[i]; return s; }"
+
+let add_r =
+  { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Binop (Ir.Add, Ir.Var "v1", Ir.Var "v2") }
+
+let sum_summary value_expr =
+  {
+    Ir.pipeline =
+      Ir.Reduce
+        ( Ir.Map
+            ( Ir.Data "data",
+              {
+                Ir.m_params = [ "i"; "data" ];
+                emits = [ { Ir.guard = None; payload = Ir.KV (Ir.CStr "s", value_expr) } ];
+              } ),
+          add_r );
+    bindings = [ ("s", Ir.AtKey (Value.Str "s")) ];
+  }
+
+let test_valid_summary_accepted () =
+  let prog, frag = fragment sum_src in
+  (match V.bounded_check prog frag (sum_summary (Ir.Var "data")) with
+  | V.Valid -> ()
+  | _ -> Alcotest.fail "bounded should accept");
+  match V.full_verify prog frag (sum_summary (Ir.Var "data")) with
+  | V.Valid -> ()
+  | _ -> Alcotest.fail "full should accept"
+
+let test_wrong_summary_rejected () =
+  let prog, frag = fragment sum_src in
+  (* sums data[i] * 2 — wrong *)
+  let wrong = sum_summary (Ir.Binop (Ir.Mul, Ir.Var "data", Ir.CInt 2)) in
+  match V.bounded_check prog frag wrong with
+  | V.Counterexample _ -> ()
+  | _ -> Alcotest.fail "bounded should reject"
+
+let test_two_phase_catches_bounded_artifact () =
+  (* the §4.1 example: min(4, v) ≡ v in a domain bounded by 4.
+     Construct a summary that sums min(4, data[i]); it agrees with the
+     true sum whenever all values are ≤ 4, which holds on many bounded
+     states but not in the full domain. *)
+  let prog, frag = fragment sum_src in
+  let tricky =
+    sum_summary (Ir.Binop (Ir.Min, Ir.CInt 4, Ir.Var "data"))
+  in
+  (* it must be rejected by the full verifier — its wide value pool
+     contains values above 4 *)
+  match V.full_verify prog frag tricky with
+  | V.Counterexample _ -> ()
+  | V.Valid -> Alcotest.fail "full verifier missed the artifact"
+  | V.Invalid_summary m -> Alcotest.failf "unexpected invalid: %s" m
+
+let test_check_state_reports_prefix () =
+  let prog, frag = fragment sum_src in
+  let wrong = sum_summary (Ir.Binop (Ir.Add, Ir.Var "data", Ir.CInt 1)) in
+  let entry =
+    Vc.entry_of_params prog frag
+      [ ("data", Value.List [ Value.Int 3; Value.Int 4 ]); ("n", Value.Int 2) ]
+  in
+  match Vc.check_state prog frag wrong entry with
+  | Vc.Fails { prefix; var = "s"; _ } -> check "fails at prefix >= 1" true (prefix >= 1)
+  | _ -> Alcotest.fail "expected Fails"
+
+let test_check_state_holds () =
+  let prog, frag = fragment sum_src in
+  let entry =
+    Vc.entry_of_params prog frag
+      [ ("data", Value.List [ Value.Int 3; Value.Int 4; Value.Int (-1) ]); ("n", Value.Int 3) ]
+  in
+  match Vc.check_state prog frag (sum_summary (Ir.Var "data")) entry with
+  | Vc.Holds -> ()
+  | _ -> Alcotest.fail "expected Holds"
+
+let test_datasets_at_matrix () =
+  let prog, frag =
+    fragment
+      {|int[] f(int[][] m, int rows, int cols) {
+          int[] o = new int[rows];
+          for (int i = 0; i < rows; i++) {
+            int s = 0;
+            for (int j = 0; j < cols; j++) s += m[i][j];
+            o[i] = s;
+          }
+          return o;
+        }|}
+  in
+  let entry =
+    Vc.entry_of_params prog frag
+      [
+        ( "m",
+          Value.List
+            [
+              Value.List [ Value.Int 1; Value.Int 2 ];
+              Value.List [ Value.Int 3; Value.Int 4 ];
+            ] );
+        ("rows", Value.Int 2);
+        ("cols", Value.Int 2);
+      ]
+  in
+  let ds = Vc.datasets_at prog frag entry 1 in
+  (* one row prefix = 2 (i,j,v) records *)
+  Alcotest.(check int) "records of first row" 2 (List.length (snd (List.hd ds)));
+  let all = Vc.datasets_at prog frag entry 2 in
+  Alcotest.(check int) "all records" 4 (List.length (snd (List.hd all)))
+
+let test_reducer_props () =
+  let env = [] in
+  let ca = V.reducer_props env add_r Ir.TInt in
+  check "addition is CA" true (ca = `Comm_assoc);
+  let keep_left = { Ir.r_left = "v1"; r_right = "v2"; r_body = Ir.Var "v1" } in
+  check "projection is not commutative" true
+    (V.reducer_props env keep_left Ir.TInt = `Not_comm_assoc);
+  let sub = { add_r with Ir.r_body = Ir.Binop (Ir.Sub, Ir.Var "v1", Ir.Var "v2") } in
+  check "subtraction is not associative" true
+    (V.reducer_props env sub Ir.TInt = `Not_comm_assoc);
+  let fmax = { add_r with Ir.r_body = Ir.Binop (Ir.Max, Ir.Var "v1", Ir.Var "v2") } in
+  check "max is CA" true (V.reducer_props env fmax Ir.TFloat = `Comm_assoc)
+
+let test_statesgen_consistency () =
+  let prog, frag = fragment sum_src in
+  let dom = Casper_verify.Statesgen.bounded_domain frag in
+  let envs = Casper_verify.Statesgen.gen_batch ~seed:3 ~count:12 dom prog frag in
+  check "first state is empty-data" true
+    (match List.assoc "data" (List.hd envs) with
+    | Value.List [] -> true
+    | _ -> false);
+  List.iter
+    (fun env ->
+      match (List.assoc "data" env, List.assoc "n" env) with
+      | Value.List l, Value.Int n ->
+          Alcotest.(check int) "bound var consistent with data" (List.length l) n
+      | _ -> Alcotest.fail "bad state")
+    envs
+
+let test_bounded_domain_includes_constants () =
+  let _, frag =
+    fragment
+      "int f(int[] data, int n) { int c = 0; for (int i = 0; i < n; i++) { if (data[i] > 37) c += 1; } return c; }"
+  in
+  let dom = Casper_verify.Statesgen.bounded_domain frag in
+  check "fragment constant in domain" true (List.mem 37 dom.Casper_verify.Statesgen.ints)
+
+let suite =
+  [
+    ( "verify.phases",
+      [
+        Alcotest.test_case "valid accepted" `Quick test_valid_summary_accepted;
+        Alcotest.test_case "wrong rejected" `Quick test_wrong_summary_rejected;
+        Alcotest.test_case "two-phase catches min(4,v)" `Quick
+          test_two_phase_catches_bounded_artifact;
+      ] );
+    ( "verify.vc",
+      [
+        Alcotest.test_case "failure reports prefix" `Quick
+          test_check_state_reports_prefix;
+        Alcotest.test_case "holds on valid state" `Quick test_check_state_holds;
+        Alcotest.test_case "matrix prefix datasets" `Quick
+          test_datasets_at_matrix;
+      ] );
+    ( "verify.props",
+      [
+        Alcotest.test_case "reducer algebra" `Quick test_reducer_props;
+      ] );
+    ( "verify.statesgen",
+      [
+        Alcotest.test_case "state consistency" `Quick test_statesgen_consistency;
+        Alcotest.test_case "constants seeded" `Quick
+          test_bounded_domain_includes_constants;
+      ] );
+  ]
