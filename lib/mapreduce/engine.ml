@@ -39,6 +39,10 @@ type run = {
   stages : stage_metrics list;
   input_records : int;
   input_bytes : int;
+  sched : Sched.Coordinator.config option;
+      (** when set, {!simulate_time} charges wall-clock from a
+          task-level schedule under this configuration instead of the
+          closed-form estimate *)
 }
 
 let bytes_of (l : Value.t list) =
@@ -48,11 +52,34 @@ let as_kv = function
   | Value.Tuple [ k; v ] -> (k, v)
   | v -> err "expected a key-value record, got %s" (Value.to_string v)
 
-(* partition records round-robin across workers, as a hash partitioner
-   would distribute them *)
-let partition (workers : int) (l : Value.t list) : Value.t list array =
+(* FNV-1a (32-bit) over the key's string form: the deterministic hash a
+   real shuffle partitions by *)
+let fnv1a32 (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+(* Partition records across workers. Keyed exchanges hash-partition so
+   every record of a key lands in the same partition (what combiner
+   accounting relies on); un-keyed exchanges (global reduces) spread
+   records round-robin. *)
+let partition ?(by_key = false) (workers : int) (l : Value.t list) :
+    Value.t list array =
   let parts = Array.make workers [] in
-  List.iteri (fun i v -> parts.(i mod workers) <- v :: parts.(i mod workers)) l;
+  List.iteri
+    (fun i v ->
+      let p =
+        if by_key then
+          let k, _ = as_kv v in
+          fnv1a32 (Value.to_string k) mod workers
+        else i mod workers
+      in
+      parts.(p) <- v :: parts.(p))
+    l;
   Array.map List.rev parts
 
 let group_fold f records =
@@ -63,7 +90,7 @@ let group_fold f records =
          | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
 
 (** Execute one plan over named datasets. *)
-let rec run_plan ~(cluster : Cluster.t)
+let rec run_plan ?sched ~(cluster : Cluster.t)
     ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
   let input =
     match List.assoc_opt plan.Plan.source datasets with
@@ -105,7 +132,7 @@ let rec run_plan ~(cluster : Cluster.t)
           (* combine within each partition, ship the combined records;
              at nominal scale each partition ships at most one record
              per key, so the true bound is workers × combined output *)
-          let parts = partition cluster.Cluster.workers current in
+          let parts = partition ~by_key:true cluster.Cluster.workers current in
           let shuffled =
             Array.fold_left
               (fun acc part -> acc + bytes_of (group_fold f part))
@@ -179,47 +206,150 @@ let rec run_plan ~(cluster : Cluster.t)
     stages = !nested_metrics @ List.rev rev_stages;
     input_records = List.length input;
     input_bytes;
+    sched;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock model                                                     *)
 
-(** Estimated wall-clock seconds for a completed run on [cluster], with
-    in-memory volumes scaled by [scale] to the nominal workload. *)
-let simulate_time ~(cluster : Cluster.t) ~(scale : float) (r : run) : float =
+(** Per-worker read time for the whole input, at nominal scale. *)
+let read_time ~(cluster : Cluster.t) ~(scale : float) (r : run) : float =
+  float_of_int r.input_bytes *. scale *. cluster.Cluster.read_byte_ns *. 1e-9
+  /. float_of_int cluster.Cluster.workers
+
+(** The three per-worker time components of one stage at nominal scale:
+    compute (per-record cpu + emit serialization, divided across
+    workers), shuffle (bytes over aggregate cluster bandwidth, combiner
+    cap honored) and materialize (per-job-boundary intermediate write).
+    Both the closed-form estimate and the task scheduler charge time
+    from exactly these numbers, so the two models cannot drift apart. *)
+let stage_components ~(cluster : Cluster.t) ~(scale : float)
+    (m : stage_metrics) : float * float * float =
   let c = cluster in
   let w = float_of_int c.Cluster.workers in
   let ns v = v *. 1e-9 in
-  let read_time =
-    ns (float_of_int r.input_bytes *. scale *. c.Cluster.read_byte_ns) /. w
+  let recs = float_of_int m.records_in *. scale in
+  let emitted = float_of_int m.bytes_out *. scale in
+  let cpu = if m.is_shuffle then c.Cluster.reduce_cpu_ns else c.Cluster.map_cpu_ns in
+  let compute = ns ((recs *. cpu) +. (emitted *. c.Cluster.emit_byte_ns)) /. w in
+  let shuffle_bytes =
+    let linear = float_of_int m.bytes_shuffled *. scale in
+    match m.shuffle_cap_bytes with
+    | Some cap -> Float.min linear (float_of_int cap)
+    | None -> linear
   in
-  let stage_time (m : stage_metrics) =
-    let recs = float_of_int m.records_in *. scale in
-    let emitted = float_of_int m.bytes_out *. scale in
-    let cpu = if m.is_shuffle then c.Cluster.reduce_cpu_ns else c.Cluster.map_cpu_ns in
-    let compute = ns ((recs *. cpu) +. (emitted *. c.Cluster.emit_byte_ns)) /. w in
-    let shuffle_bytes =
-      let linear = float_of_int m.bytes_shuffled *. scale in
-      match m.shuffle_cap_bytes with
-      | Some cap -> Float.min linear (float_of_int cap)
-      | None -> linear
-    in
-    let shuffle = ns (shuffle_bytes *. c.Cluster.shuffle_byte_ns) in
-    let materialize =
-      if c.Cluster.per_job_boundary && m.is_shuffle then
-        ns (float_of_int m.bytes_out *. scale *. c.Cluster.materialize_byte_ns)
-      else 0.0
-    in
-    c.Cluster.stage_overhead_s +. compute +. shuffle +. materialize
+  let shuffle = ns (shuffle_bytes *. c.Cluster.shuffle_byte_ns) in
+  let materialize =
+    if c.Cluster.per_job_boundary && m.is_shuffle then
+      ns (float_of_int m.bytes_out *. scale *. c.Cluster.materialize_byte_ns)
+    else 0.0
   in
-  let jobs =
-    if c.Cluster.per_job_boundary then
-      max 1 (List.length (List.filter (fun m -> m.is_shuffle) r.stages))
-    else 1
+  (compute, shuffle, materialize)
+
+let job_count ~(cluster : Cluster.t) (r : run) : int =
+  if cluster.Cluster.per_job_boundary then
+    max 1 (List.length (List.filter (fun m -> m.is_shuffle) r.stages))
+  else 1
+
+(** Closed-form estimate: per-stage components plus scheduling and job
+    overheads. *)
+let analytic_time ~(cluster : Cluster.t) ~(scale : float) (r : run) : float =
+  let stage_time m =
+    let compute, shuffle, materialize = stage_components ~cluster ~scale m in
+    cluster.Cluster.stage_overhead_s +. compute +. shuffle +. materialize
   in
-  (float_of_int jobs *. c.Cluster.job_overhead_s)
-  +. read_time
+  (float_of_int (job_count ~cluster r) *. cluster.Cluster.job_overhead_s)
+  +. read_time ~cluster ~scale r
   +. List.fold_left (fun acc m -> acc +. stage_time m) 0.0 r.stages
+
+(* ------------------------------------------------------------------ *)
+(* Task-level scheduling                                                *)
+
+(** Decompose the run into a schedulable plan: one equal-share task per
+    worker slot and stage (the volume metrics are aggregates, so data
+    skew enters the scheduler through its straggler model, not through
+    per-partition volumes — a fault-free schedule therefore reproduces
+    {!analytic_time} exactly). The input read is folded into the first
+    stage's tasks. [recover_s] carries each backend's recovery
+    semantics: lineage recompute of the narrow chain since the last
+    durable point (Spark), re-read of the materialized intermediate
+    (Hadoop), or chain recompute plus region coordination (Flink). *)
+let sched_plan ~(cluster : Cluster.t) ~(scale : float) (r : run) :
+    Sched.Coordinator.plan =
+  let c = cluster in
+  let w = c.Cluster.workers in
+  let wf = float_of_int w in
+  let read_s = read_time ~cluster ~scale r in
+  let reread_s (m : stage_metrics) =
+    float_of_int m.bytes_in *. scale *. c.Cluster.read_byte_ns *. 1e-9 /. wf
+  in
+  (* chain_s = per-worker cost of re-deriving the current stage's input
+     from the nearest durable point (HDFS input, shuffle files) *)
+  let stages_rev, _chain_s, _first =
+    List.fold_left
+      (fun (acc, chain_s, first) (m : stage_metrics) ->
+        let compute, shuffle, materialize = stage_components ~cluster ~scale m in
+        let task_s =
+          (if first then read_s else 0.0) +. compute +. shuffle +. materialize
+        in
+        let recover_s =
+          match c.Cluster.recovery with
+          | Sched.Faults.Lineage -> chain_s
+          | Sched.Faults.Materialized -> reread_s m
+          | Sched.Faults.Region_restart -> chain_s +. c.Cluster.stage_overhead_s
+        in
+        let stage =
+          {
+            Sched.Coordinator.label = m.label;
+            kind = (if m.is_shuffle then Sched.Task.Reduce else Sched.Task.Map);
+            ntasks = w;
+            task_s;
+            bytes_out_per_task =
+              int_of_float (float_of_int m.bytes_out *. scale /. wf);
+            recover_s;
+            barrier_s = c.Cluster.stage_overhead_s;
+          }
+        in
+        (* after a shuffle the exchange's files are the durable point:
+           re-deriving its output re-runs only the reduce compute *)
+        let chain_s' = if m.is_shuffle then compute else chain_s +. compute in
+        (stage :: acc, chain_s', false))
+      ([], read_s, true) r.stages
+  in
+  let base_serial_s =
+    (float_of_int (job_count ~cluster r) *. c.Cluster.job_overhead_s)
+    +. if r.stages = [] then read_s else 0.0
+  in
+  {
+    Sched.Coordinator.workers = w;
+    stages = List.rev stages_rev;
+    base_serial_s;
+    relaunch_s = c.Cluster.task_relaunch_s;
+    detect_s = c.Cluster.fault_detect_s;
+    recovery = c.Cluster.recovery;
+  }
+
+(** Schedule the run task-by-task and return the full outcome
+    (completion time, event trace, attempt/failure counters). [config]
+    defaults to the run's own [sched] configuration, or fault-free. *)
+let schedule ~(cluster : Cluster.t) ~(scale : float) ?config (r : run) :
+    Sched.Coordinator.outcome =
+  let config =
+    match (config, r.sched) with
+    | Some c, _ -> c
+    | None, Some c -> c
+    | None, None -> Sched.Coordinator.fault_free
+  in
+  Sched.Coordinator.run ~config (sched_plan ~cluster ~scale r)
+
+(** Estimated wall-clock seconds for a completed run on [cluster], with
+    in-memory volumes scaled by [scale] to the nominal workload. Runs
+    executed with [~sched] are charged from the task-level schedule;
+    others from the closed-form estimate. *)
+let simulate_time ~(cluster : Cluster.t) ~(scale : float) (r : run) : float =
+  match r.sched with
+  | None -> analytic_time ~cluster ~scale r
+  | Some config -> (schedule ~cluster ~scale ~config r).completion_s
 
 (** Wall-clock of the sequential original: single core, every record and
     byte passes through one thread. [passes] = how many times the

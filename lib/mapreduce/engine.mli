@@ -31,15 +31,46 @@ type run = {
   stages : stage_metrics list;  (** join inputs included *)
   input_records : int;
   input_bytes : int;
+  sched : Sched.Coordinator.config option;
+      (** when set, {!simulate_time} charges wall-clock from a
+          task-level schedule under this configuration instead of the
+          closed-form estimate *)
 }
 
-(** Execute a plan over named in-memory datasets.
+(** Execute a plan over named in-memory datasets. Pass [?sched] to
+    charge wall-clock from a task-level schedule (with fault injection
+    and speculative execution) instead of the closed-form estimate.
     @raise Engine_error on unknown datasets or shape errors. *)
 val run_plan :
-  cluster:Cluster.t -> datasets:(string * Value.t list) list -> Plan.t -> run
+  ?sched:Sched.Coordinator.config ->
+  cluster:Cluster.t ->
+  datasets:(string * Value.t list) list ->
+  Plan.t ->
+  run
 
-(** Modeled wall-clock seconds on [cluster] at nominal scale. *)
+(** Modeled wall-clock seconds on [cluster] at nominal scale. Dispatches
+    to {!schedule} when the run carries a scheduler configuration. *)
 val simulate_time : cluster:Cluster.t -> scale:float -> run -> float
+
+(** The closed-form estimate, regardless of the run's [sched] field. *)
+val analytic_time : cluster:Cluster.t -> scale:float -> run -> float
+
+(** Decompose the run into a schedulable task plan: one equal-share
+    task per worker slot and stage, with the backend's recovery
+    semantics baked into each stage's [recover_s]. A fault-free
+    schedule of this plan reproduces {!analytic_time} exactly. *)
+val sched_plan :
+  cluster:Cluster.t -> scale:float -> run -> Sched.Coordinator.plan
+
+(** Schedule the run task-by-task: completion time, event trace and
+    attempt/failure counters. [config] defaults to the run's own
+    [sched] configuration, or fault-free. *)
+val schedule :
+  cluster:Cluster.t ->
+  scale:float ->
+  ?config:Sched.Coordinator.config ->
+  run ->
+  Sched.Coordinator.outcome
 
 (** Modeled single-core wall-clock of the sequential original.
     [passes] is the number of data scans (iterative algorithms > 1). *)

@@ -1,0 +1,427 @@
+(** Discrete-event task coordinator.
+
+    Each stage is decomposed into [ntasks] equal-share tasks and run to
+    completion before the next stage starts (stages are barriers, as in
+    the engine's analytic model). The coordinator assigns tasks to
+    worker slots, advances simulated time from event to event (attempt
+    completions, worker deaths, backoff expiries, speculation wake-ups)
+    and charges wall-clock from the finishing times of the winning
+    attempts. With the fault-free profile every stage launches all its
+    tasks at once and finishes after exactly [task_s], so the makespan
+    reproduces the engine's closed-form estimate; see
+    {!ideal_completion}.
+
+    Fault semantics:
+    - a dead worker kills its running attempts and loses the completed
+      task outputs it was holding (except reduce outputs under
+      {!Faults.Materialized}, which survive on the DFS);
+    - retried attempts pay the per-attempt relaunch cost plus the
+      reconstruction of their input slice ([recover_s / ntasks]);
+    - reduce stages entered after worker deaths first reconstruct the
+      dead fraction of their upstream input ([share * recover_s]),
+      unless the backend materialized it;
+    - a speculative copy of a straggling attempt is launched once half
+      the stage has finished and the attempt has run longer than
+      [spec_threshold] times the median completed duration; the first
+      copy to finish wins and the sibling is cancelled. *)
+
+module Rng = Casper_common.Rng
+
+type stage = {
+  label : string;
+  kind : Task.kind;
+  ntasks : int;
+  task_s : float;  (** fault-free duration of one task *)
+  bytes_out_per_task : int;
+  recover_s : float;
+      (** cost to reconstruct this stage's whole input (share 1.0);
+          backend-dependent: lineage recompute, DFS re-read, or region
+          restart — the plan builder bakes the semantics in *)
+  barrier_s : float;  (** serial overhead charged once the stage ends *)
+}
+
+type plan = {
+  workers : int;
+  stages : stage list;
+  base_serial_s : float;
+      (** job overheads and anything else not decomposed into tasks *)
+  relaunch_s : float;
+      (** per-attempt spin-up paid by retries and speculative copies
+          (first attempts ride the framework's batch launch, which the
+          stage overhead already covers) *)
+  detect_s : float;
+      (** failure-detection latency: how long after a worker dies the
+          coordinator notices and requeues its work (heartbeat/task
+          timeout — seconds on Spark and Flink executors, far longer on
+          Hadoop's task tracker) *)
+  recovery : Faults.recovery;
+}
+
+type config = {
+  faults : Faults.profile;
+  speculation : bool;
+  spec_threshold : float;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  max_attempts : int;
+}
+
+let config ?(faults = Faults.none) ?(speculation = true) ?(spec_threshold = 1.5)
+    ?(backoff_base_s = 0.25) ?(backoff_cap_s = 4.0) ?(max_attempts = 16) () =
+  {
+    faults;
+    speculation;
+    spec_threshold;
+    backoff_base_s;
+    backoff_cap_s;
+    max_attempts;
+  }
+
+let fault_free = config ()
+
+type outcome = {
+  completion_s : float;
+  trace : Trace.t;
+  attempts : int;
+  failures : int;
+  speculated : int;
+  recoveries : int;
+  deaths : int;
+}
+
+(** What the fault-free schedule takes: every stage fills all slots at
+    once, so its makespan is one task duration plus its barrier. *)
+let ideal_completion plan =
+  List.fold_left
+    (fun acc st -> acc +. st.task_s +. st.barrier_s)
+    plan.base_serial_s plan.stages
+
+type tstate =
+  | Pending of { ready_s : float }
+  | Running
+  | Done of { fin_s : float; dur_s : float; worker : int }
+
+let run ?(config = fault_free) plan : outcome =
+  let w = plan.workers in
+  if w <= 0 then invalid_arg "Coordinator.run: plan needs workers";
+  let prof = config.faults in
+  let trace = Trace.create () in
+  let horizon = ideal_completion plan in
+  let rng = Rng.create ((prof.seed * 0x9e3779b1) + 0x5eed) in
+  (* failure timeline: which workers die (and when), which are slow *)
+  let deaths = Array.make w infinity in
+  let nd =
+    let raw = int_of_float (Float.round (prof.failed_fraction *. float_of_int w)) in
+    max 0 (min (w - 1) raw)
+  in
+  if nd > 0 && horizon > 0.0 then
+    Rng.shuffle rng (List.init w (fun i -> i))
+    |> List.filteri (fun k _ -> k < nd)
+    |> List.iter (fun w' ->
+           deaths.(w') <- Rng.float_range rng (0.05 *. horizon) (0.9 *. horizon));
+  let slow = Array.make w 1.0 in
+  if prof.straggler_fraction > 0.0 then
+    for w' = 0 to w - 1 do
+      if Rng.bernoulli rng prof.straggler_fraction then
+        slow.(w') <- Float.max 1.0 prof.straggler_slowdown
+    done;
+  let death_seen = Array.make w false in
+  let attempts_n = ref 0
+  and failures_n = ref 0
+  and speculated_n = ref 0
+  and recoveries_n = ref 0
+  and deaths_n = ref 0 in
+  (* job startup happens before any task runs, so the failure window
+     drawn against the horizon overlaps the task execution window *)
+  let t = ref plan.base_serial_s in
+  List.iteri
+    (fun si st ->
+      let n = st.ntasks in
+      if n > 0 then begin
+        let record task kind =
+          Trace.record trace ~t_s:!t ~stage:si ~label:st.label ~task kind
+        in
+        (* input produced by earlier stages on workers now dead must be
+           reconstructed before the exchange can run *)
+        (if st.kind = Task.Reduce && plan.recovery <> Faults.Materialized then
+           let dead_now = ref 0 in
+           for w' = 0 to w - 1 do
+             if deaths.(w') <= !t then incr dead_now
+           done;
+           if !dead_now > 0 then begin
+             let share = float_of_int !dead_now /. float_of_int w in
+             let delay = share *. st.recover_s in
+             if delay > 0.0 then begin
+               incr recoveries_n;
+               record (-1) (Trace.Recovered { worker = -1; lost_share = share; delay_s = delay });
+               t := !t +. delay
+             end
+           end);
+        let state = Array.make n (Pending { ready_s = !t }) in
+        let next_no = Array.make n 1 in
+        let running : Task.attempt list ref = ref [] in
+        let busy = Array.make w false in
+        let backoff no =
+          Float.min config.backoff_cap_s
+            (config.backoff_base_s *. Float.pow 2.0 (float_of_int (no - 2)))
+        in
+        let free_worker ?(avoid = -1) () =
+          let rec go w' =
+            if w' >= w then None
+            else if (not busy.(w')) && deaths.(w') > !t && w' <> avoid then
+              Some w'
+            else go (w' + 1)
+          in
+          go 0
+        in
+        let duration ~speculative ~no ~task w' =
+          let base = slow.(w') *. st.task_s in
+          let relaunch = if no > 1 || speculative then plan.relaunch_s else 0.0 in
+          let slice = st.recover_s /. float_of_int n in
+          let slices = ref 0 in
+          (* a retry must re-derive the input slice its failed
+             predecessor consumed (or, on output loss, re-produce it) *)
+          if no > 1 then incr slices;
+          if
+            st.kind = Task.Reduce
+            && prof.lost_partition_prob > 0.0
+            && Rng.bernoulli rng prof.lost_partition_prob
+          then incr slices;
+          let recov = float_of_int !slices *. slice in
+          if recov > 0.0 then begin
+            incr recoveries_n;
+            record task
+              (Trace.Recovered
+                 {
+                   worker = w';
+                   lost_share = float_of_int !slices /. float_of_int n;
+                   delay_s = recov;
+                 })
+          end;
+          base +. relaunch +. recov
+        in
+        let start_attempt ~speculative i w' =
+          let no = next_no.(i) in
+          if no > config.max_attempts then
+            failwith
+              (Fmt.str "Sched.Coordinator: stage %s task %d exceeded %d attempts"
+                 st.label i config.max_attempts);
+          next_no.(i) <- no + 1;
+          let dur = duration ~speculative ~no ~task:i w' in
+          busy.(w') <- true;
+          incr attempts_n;
+          if speculative then incr speculated_n;
+          record i (Trace.Started { worker = w'; attempt = no; speculative });
+          running :=
+            {
+              Task.task = i;
+              no;
+              worker = w';
+              start_s = !t;
+              fin_s = !t +. dur;
+              speculative;
+            }
+            :: !running;
+          if not speculative then state.(i) <- Running
+        in
+        let process_deaths () =
+          for w' = 0 to w - 1 do
+            if (not death_seen.(w')) && deaths.(w') <= !t then begin
+              death_seen.(w') <- true;
+              incr deaths_n;
+              Trace.record trace ~t_s:deaths.(w') ~stage:si ~label:st.label
+                ~task:(-1)
+                (Trace.Worker_died { worker = w' });
+              let victims, keep =
+                List.partition (fun (a : Task.attempt) -> a.worker = w') !running
+              in
+              running := keep;
+              busy.(w') <- false;
+              List.iter
+                (fun (a : Task.attempt) ->
+                  incr failures_n;
+                  record a.task
+                    (Trace.Failed
+                       { worker = w'; attempt = a.no; reason = "worker died" });
+                  let sibling_alive =
+                    List.exists (fun (b : Task.attempt) -> b.task = a.task) keep
+                  in
+                  match state.(a.task) with
+                  | Done _ -> ()
+                  | _ when sibling_alive -> ()
+                  | _ ->
+                      state.(a.task) <-
+                        Pending
+                          {
+                            ready_s =
+                              !t +. plan.detect_s +. backoff next_no.(a.task);
+                          })
+                victims;
+              (* completed outputs held on the dead worker go with it,
+                 unless the backend materialized them to the DFS *)
+              if not (st.kind = Task.Reduce && plan.recovery = Faults.Materialized)
+              then
+                Array.iteri
+                  (fun i s ->
+                    match s with
+                    | Done d when d.worker = w' ->
+                        incr failures_n;
+                        record i
+                          (Trace.Failed
+                             {
+                               worker = w';
+                               attempt = next_no.(i) - 1;
+                               reason = "output lost with worker";
+                             });
+                        state.(i) <- Pending { ready_s = !t +. plan.detect_s }
+                    | _ -> ())
+                  state
+            end
+          done
+        in
+        let process_completions () =
+          let finished, still =
+            List.partition (fun (a : Task.attempt) -> a.fin_s <= !t) !running
+          in
+          running := still;
+          List.iter
+            (fun (a : Task.attempt) ->
+              match state.(a.task) with
+              | Done _ ->
+                  (* a sibling won at the same instant *)
+                  busy.(a.worker) <- false
+              | _ ->
+                  state.(a.task) <-
+                    Done
+                      { fin_s = a.fin_s; dur_s = a.fin_s -. a.start_s; worker = a.worker };
+                  busy.(a.worker) <- false;
+                  Trace.record trace ~t_s:a.fin_s ~stage:si ~label:st.label
+                    ~task:a.task
+                    (Trace.Finished
+                       {
+                         worker = a.worker;
+                         attempt = a.no;
+                         bytes_out = st.bytes_out_per_task;
+                       });
+                  let sibs, keep =
+                    List.partition
+                      (fun (b : Task.attempt) -> b.task = a.task)
+                      !running
+                  in
+                  running := keep;
+                  List.iter
+                    (fun (b : Task.attempt) -> busy.(b.worker) <- false)
+                    sibs)
+            (List.sort
+               (fun (a : Task.attempt) (b : Task.attempt) ->
+                 Float.compare a.fin_s b.fin_s)
+               finished)
+        in
+        let launch () =
+          for i = 0 to n - 1 do
+            match state.(i) with
+            | Pending { ready_s } when ready_s <= !t -> (
+                match free_worker () with
+                | Some w' -> start_attempt ~speculative:false i w'
+                | None -> ())
+            | _ -> ()
+          done
+        in
+        let done_count () =
+          Array.fold_left
+            (fun acc -> function Done _ -> acc + 1 | _ -> acc)
+            0 state
+        in
+        let median_done () =
+          let ds =
+            Array.to_list state
+            |> List.filter_map (function Done d -> Some d.dur_s | _ -> None)
+          in
+          match List.sort Float.compare ds with
+          | [] -> None
+          | l -> Some (List.nth l (List.length l / 2))
+        in
+        let single_attempt i =
+          List.length
+            (List.filter (fun (a : Task.attempt) -> a.task = i) !running)
+          = 1
+        in
+        let try_speculate () =
+          if config.speculation && 2 * done_count () >= n then
+            match median_done () with
+            | Some med when med > 0.0 ->
+                !running
+                |> List.filter (fun (a : Task.attempt) ->
+                       (not a.speculative)
+                       && single_attempt a.task
+                       && !t -. a.start_s >= config.spec_threshold *. med)
+                |> List.sort (fun (a : Task.attempt) (b : Task.attempt) ->
+                       Float.compare a.start_s b.start_s)
+                |> List.iter (fun (a : Task.attempt) ->
+                       match free_worker ~avoid:a.worker () with
+                       | Some w' -> start_attempt ~speculative:true a.task w'
+                       | None -> ())
+            | _ -> ()
+        in
+        let all_done () =
+          Array.for_all (function Done _ -> true | _ -> false) state
+        in
+        let advance () =
+          let best = ref infinity in
+          let consider x = if x < !best then best := x in
+          List.iter
+            (fun (a : Task.attempt) -> if a.fin_s >= !t then consider a.fin_s)
+            !running;
+          Array.iter
+            (function
+              | Pending { ready_s } when ready_s > !t -> consider ready_s
+              | _ -> ())
+            state;
+          for w' = 0 to w - 1 do
+            if (not death_seen.(w')) && deaths.(w') > !t then consider deaths.(w')
+          done;
+          (if config.speculation && 2 * done_count () >= n then
+             match median_done () with
+             | Some med when med > 0.0 ->
+                 List.iter
+                   (fun (a : Task.attempt) ->
+                     if not a.speculative then
+                       let wake = a.start_s +. (config.spec_threshold *. med) in
+                       if wake > !t then consider wake)
+                   !running
+             | _ -> ());
+          if !best = infinity then
+            failwith "Sched.Coordinator: stalled (no runnable event)"
+          else t := !best
+        in
+        let guard = ref 0 in
+        let finished_stage = ref false in
+        while not !finished_stage do
+          incr guard;
+          if !guard > 500_000 then
+            failwith "Sched.Coordinator: event loop did not converge";
+          process_deaths ();
+          process_completions ();
+          if all_done () then finished_stage := true
+          else begin
+            launch ();
+            try_speculate ();
+            advance ()
+          end
+        done;
+        Array.iter
+          (function Done d -> t := Float.max !t d.fin_s | _ -> ())
+          state
+      end;
+      t := !t +. st.barrier_s)
+    plan.stages;
+  let completion_s = !t in
+  {
+    completion_s;
+    trace;
+    attempts = !attempts_n;
+    failures = !failures_n;
+    speculated = !speculated_n;
+    recoveries = !recoveries_n;
+    deaths = !deaths_n;
+  }

@@ -1,0 +1,54 @@
+(** Seeded fault profiles injected into the task scheduler.
+
+    Every random draw — which workers die and when, which are
+    persistently slow, which shuffle fetches lose a partition — goes
+    through {!Casper_common.Rng}, so a (profile, plan) pair always
+    replays the same failure timeline and every experiment is
+    reproducible from its seed. *)
+
+(** How lost intermediate data is reconstructed. The three backends
+    differ exactly where the real systems differ. *)
+type recovery =
+  | Lineage
+      (** Spark: recompute lost partitions by re-running the upstream
+          narrow stages (RDD lineage) *)
+  | Materialized
+      (** Hadoop: re-read the intermediate output that the per-job
+          boundary materialized to the DFS (the data survives the
+          worker; the repair attempt pays the task-launch path again) *)
+  | Region_restart
+      (** Flink: restart the pipelined region the lost partition
+          belonged to — producers and the consumer re-run together *)
+
+let recovery_label = function
+  | Lineage -> "lineage recompute"
+  | Materialized -> "materialized re-read"
+  | Region_restart -> "region restart"
+
+type profile = {
+  seed : int;  (** seed for the whole failure timeline *)
+  failed_fraction : float;
+      (** fraction of workers that die at a random point mid-job *)
+  straggler_fraction : float;  (** fraction of persistently slow workers *)
+  straggler_slowdown : float;
+      (** task-duration multiplier on straggler workers *)
+  lost_partition_prob : float;
+      (** per reduce attempt: chance one of its shuffle inputs was
+          dropped in flight and must be recovered *)
+}
+
+let none =
+  {
+    seed = 0;
+    failed_fraction = 0.0;
+    straggler_fraction = 0.0;
+    straggler_slowdown = 1.0;
+    lost_partition_prob = 0.0;
+  }
+
+(** A profile that only kills [fraction] of the workers. *)
+let failures ?(seed = 1) fraction = { none with seed; failed_fraction = fraction }
+
+(** A profile that only slows [fraction] of the workers by [slowdown]. *)
+let stragglers ?(seed = 1) ~fraction ~slowdown () =
+  { none with seed; straggler_fraction = fraction; straggler_slowdown = slowdown }

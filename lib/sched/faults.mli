@@ -1,0 +1,32 @@
+(** Seeded fault profiles injected into the task scheduler. All draws go
+    through {!Casper_common.Rng}: a (profile, plan) pair always replays
+    the same failure timeline. *)
+
+(** How lost intermediate data is reconstructed — the three backends
+    differ exactly where the real systems differ: Spark recomputes from
+    lineage, Hadoop re-reads the materialized intermediate, Flink
+    restarts the pipelined region. *)
+type recovery = Lineage | Materialized | Region_restart
+
+val recovery_label : recovery -> string
+
+type profile = {
+  seed : int;  (** seed for the whole failure timeline *)
+  failed_fraction : float;
+      (** fraction of workers that die at a random point mid-job *)
+  straggler_fraction : float;  (** fraction of persistently slow workers *)
+  straggler_slowdown : float;
+      (** task-duration multiplier on straggler workers *)
+  lost_partition_prob : float;
+      (** per reduce attempt: chance one of its shuffle inputs was
+          dropped in flight and must be recovered *)
+}
+
+(** The fault-free profile (seed 0, nothing injected). *)
+val none : profile
+
+(** A profile that only kills the given fraction of the workers. *)
+val failures : ?seed:int -> float -> profile
+
+(** A profile that only slows [fraction] of the workers by [slowdown]. *)
+val stragglers : ?seed:int -> fraction:float -> slowdown:float -> unit -> profile

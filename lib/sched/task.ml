@@ -1,0 +1,26 @@
+(** Schedulable units of the task-level scheduler.
+
+    A plan stage is decomposed into one task per worker slot, each
+    charged an equal share of the stage's aggregate work (the engine's
+    volume metrics are aggregates, so data skew enters through the
+    straggler model rather than through per-partition volumes — see
+    {!Coordinator}). A task may be executed several times: failed
+    attempts are retried with capped exponential backoff, and straggler
+    attempts may get a speculative copy; the task finishes when its
+    first attempt completes. *)
+
+type kind =
+  | Map  (** narrow stage: consumes its predecessor's output in place *)
+  | Reduce  (** shuffle stage: consumes a repartitioned exchange *)
+
+let kind_label = function Map -> "map" | Reduce -> "reduce"
+
+(** One in-flight attempt of one task, as the coordinator tracks it. *)
+type attempt = {
+  task : int;  (** task index within its stage *)
+  no : int;  (** attempt number, 1-based *)
+  worker : int;
+  start_s : float;
+  fin_s : float;  (** completion time, if the worker survives that long *)
+  speculative : bool;
+}

@@ -1,0 +1,16 @@
+(** Schedulable units: stage kinds and in-flight task attempts. *)
+
+type kind =
+  | Map  (** narrow stage: consumes its predecessor's output in place *)
+  | Reduce  (** shuffle stage: consumes a repartitioned exchange *)
+
+val kind_label : kind -> string
+
+type attempt = {
+  task : int;  (** task index within its stage *)
+  no : int;  (** attempt number, 1-based *)
+  worker : int;
+  start_s : float;
+  fin_s : float;  (** completion time, if the worker survives that long *)
+  speculative : bool;
+}

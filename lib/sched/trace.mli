@@ -1,0 +1,47 @@
+(** Per-task event log of a scheduled execution, rendered as
+    paper-style ASCII tables. *)
+
+type kind =
+  | Started of { worker : int; attempt : int; speculative : bool }
+  | Finished of { worker : int; attempt : int; bytes_out : int }
+  | Failed of { worker : int; attempt : int; reason : string }
+  | Recovered of { worker : int; lost_share : float; delay_s : float }
+  | Worker_died of { worker : int }
+
+type event = {
+  t_s : float;
+  stage : int;
+  label : string;
+  task : int;  (** -1 for worker-level events *)
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> t_s:float -> stage:int -> label:string -> task:int -> kind -> unit
+
+(** All events in timestamp order. *)
+val events : t -> event list
+
+type stage_row = {
+  stage : int;
+  label : string;
+  tasks : int;
+  attempts : int;
+  failures : int;
+  speculative : int;
+  recoveries : int;
+  mb_out : float;
+  finish_s : float;
+}
+
+val summarize : t -> stage_row list
+
+(** Per-stage summary table. *)
+val render : t -> string
+
+(** The first [limit] (default 30) raw events as a table. *)
+val render_events : ?limit:int -> t -> string

@@ -181,6 +181,109 @@ let test_monitor_probability_estimates () =
   | [] -> Alcotest.fail "no guards found");
   check "sample size recorded" true (est.Monitor.sample_size = 100)
 
+(* Fig. 8's data-dependent switch, end to end. The string-match fragment
+   synthesizes both a guarded keyed candidate — emit("found", eq) under
+   the match guard, whose cost 158·p·N vanishes when matches are rare —
+   and an unguarded scalar candidate with constant cost 30·N. The
+   crossover sits at p* = 30/158 ≈ 19%, so the monitor must run the
+   guarded keyed plan on a 0%-match sample and switch to the compact
+   scalar plan at 50% and 95%. *)
+let test_monitor_switch_decision () =
+  let src =
+    {|boolean f(List<String> ws, String k) {
+        boolean found = false;
+        for (String w : ws) { if (w.equals(k)) found = true; }
+        return found;
+      }|}
+  in
+  let prog = Parser.parse_program src in
+  let frag =
+    List.hd (An.fragments_of_program prog ~suite:"t" ~benchmark:"t")
+  in
+  let r = Cegis.find_summary ~config:fast_config prog frag in
+  let ca = List.filter (fun s -> s.Cegis.comm_assoc) r.Cegis.solutions in
+  let first_map_emits (s : Ir.summary) =
+    let rec fm = function
+      | Ir.Map (Ir.Data _, lm) -> Some lm
+      | Ir.Map (src, _) | Ir.Reduce (src, _) -> fm src
+      | Ir.Join (a, _) -> fm a
+      | Ir.Data _ -> None
+    in
+    match fm s.Ir.pipeline with Some lm -> lm.Ir.emits | None -> []
+  in
+  let guarded_kv =
+    List.find_opt
+      (fun (s : Cegis.solution) ->
+        List.exists
+          (fun (e : Ir.emit) ->
+            e.Ir.guard <> None
+            && match e.Ir.payload with Ir.KV _ -> true | _ -> false)
+          (first_map_emits s.Cegis.summary))
+      ca
+  in
+  let plain_scalar =
+    List.find_opt
+      (fun (s : Cegis.solution) ->
+        match first_map_emits s.Cegis.summary with
+        | [] -> false
+        | emits ->
+            List.for_all
+              (fun (e : Ir.emit) ->
+                e.Ir.guard = None
+                && match e.Ir.payload with Ir.Val _ -> true | _ -> false)
+              emits)
+      ca
+  in
+  match (guarded_kv, plain_scalar) with
+  | Some g, Some p ->
+      let mk_sample pct =
+        List.init 100 (fun i -> Value.Str (if i < pct then "k" else "z"))
+      in
+      let entry =
+        Vc.entry_of_params prog frag
+          [ ("ws", Value.List (mk_sample 50)); ("k", Value.Str "k") ]
+      in
+      let candidates = [ g.Cegis.summary; p.Cegis.summary ] in
+      let decide pct =
+        Monitor.choose prog frag entry candidates ~n:1_000_000.0
+          (mk_sample pct)
+      in
+      let c0 = decide 0 and c50 = decide 50 and c95 = decide 95 in
+      check "0% match: guarded keyed plan wins" true (c0.Monitor.chosen = 0);
+      check "50% match: switches to unguarded scalar" true
+        (c50.Monitor.chosen = 1);
+      check "95% match: stays on unguarded scalar" true
+        (c95.Monitor.chosen = 1);
+      (* the sampled probabilities drive the decision *)
+      let prob (c : Monitor.choice) =
+        match c.Monitor.estimate.Monitor.guard_probs with
+        | (_, p) :: _ -> p
+        | [] -> Alcotest.fail "no guard estimated"
+      in
+      check "0% estimated" true (Float.abs (prob c0 -. 0.0) < 1e-9);
+      check "50% estimated" true (Float.abs (prob c50 -. 0.5) < 1e-9);
+      check "95% estimated" true (Float.abs (prob c95 -. 0.95) < 1e-9);
+      (* the guarded candidate's cost grows with the match rate while
+         the unguarded one's stays flat *)
+      let cost_of (c : Monitor.choice) i = List.nth c.Monitor.costs i in
+      check "guarded cost grows" true
+        (cost_of c0 0 < cost_of c50 0 && cost_of c50 0 < cost_of c95 0);
+      check "unguarded cost flat" true
+        (Float.abs (cost_of c0 1 -. cost_of c95 1) < 1e-6)
+  | _ -> Alcotest.fail "expected guarded-KV and unguarded-scalar candidates"
+
+let test_monitor_distinct_keys () =
+  let sample =
+    List.map (fun s -> Value.Str s) [ "a"; "b"; "a"; "c"; "a"; "b" ]
+  in
+  let env = [ ("words", Value.List sample) ] in
+  let _prog, frag, best, entry = translated wc_src env in
+  let est =
+    Monitor.estimate_from_sample frag entry [ best.Cegis.summary ] sample
+  in
+  check "3 distinct keys in the sample" true
+    (Float.abs (est.Monitor.distinct_keys -. 3.0) < 1e-9)
+
 let test_monitor_chooses_cheapest () =
   (* two candidates where one is plainly cheaper: the monitor must pick it *)
   let src = wc_src in
@@ -198,6 +301,59 @@ let test_monitor_chooses_cheapest () =
       (Value.as_list (List.assoc "words" env))
   in
   check "costs computed for both" true (List.length choice.Monitor.costs = 2)
+
+(* ---------------- cache insertion ---------------- *)
+
+module Cacheopt = Casper_codegen.Cacheopt
+
+let wc_engine_run () =
+  let env = [ ("words", words [ "a"; "b"; "a"; "c"; "a" ]) ] in
+  let prog, frag, best, entry = translated wc_src env in
+  let datasets = Runner.datasets_of prog frag entry in
+  let t = Compile.compile prog frag entry best.Cegis.summary in
+  Mapreduce.Engine.run_plan ~cluster:Mapreduce.Cluster.spark ~datasets
+    t.Compile.plan
+
+let test_cacheopt_decide () =
+  let r = wc_engine_run () in
+  let cluster = Mapreduce.Cluster.spark in
+  let once = Cacheopt.decide ~cluster ~scale:1e6 ~iters:1 r in
+  check "single pass never caches" true (not once.Cacheopt.cache);
+  check "nothing re-read" true (once.Cacheopt.reread_cost_s = 0.0);
+  (* Spark re-reads at 0.3 ns/B vs a 0.15 ns/B one-time cache write, so
+     any second iteration already pays for the cache *)
+  let twice = Cacheopt.decide ~cluster ~scale:1e6 ~iters:2 r in
+  check "iterative plan caches" true twice.Cacheopt.cache;
+  check "saving exceeds materialization" true
+    (twice.Cacheopt.reread_cost_s > twice.Cacheopt.materialize_cost_s)
+
+let test_cacheopt_time_saving () =
+  let r = wc_engine_run () in
+  let cluster = Mapreduce.Cluster.spark in
+  let iters = 5 in
+  let plain = Cacheopt.iterative_time ~cluster ~scale:1e6 ~iters r in
+  let cached =
+    Cacheopt.iterative_time ~cluster ~scale:1e6 ~iters ~cached:true r
+  in
+  check "cache() wins over 5 iterations" true (cached < plain);
+  let one = Mapreduce.Engine.simulate_time ~cluster ~scale:1e6 r in
+  check "uncached is iters independent runs" true
+    (Float.abs (plain -. (float_of_int iters *. one)) < 1e-9)
+
+let test_cacheopt_run_iterative () =
+  let r = wc_engine_run () in
+  let cluster = Mapreduce.Cluster.spark in
+  let t5, cached5 = Cacheopt.run_iterative ~cluster ~scale:1e6 ~iters:5 r in
+  check "heuristic inserts cache()" true cached5;
+  check "prices the cached variant" true
+    (Float.abs
+       (t5 -. Cacheopt.iterative_time ~cluster ~scale:1e6 ~iters:5 ~cached:true r)
+    < 1e-9);
+  let t1, cached1 = Cacheopt.run_iterative ~cluster ~scale:1e6 ~iters:1 r in
+  check "single pass stays uncached" true (not cached1);
+  check "single pass is one run" true
+    (Float.abs (t1 -. Mapreduce.Engine.simulate_time ~cluster ~scale:1e6 r)
+    < 1e-9)
 
 let suite =
   [
@@ -220,7 +376,16 @@ let suite =
       [
         Alcotest.test_case "probability estimates" `Quick
           test_monitor_probability_estimates;
+        Alcotest.test_case "switch decision at 0/50/95%" `Quick
+          test_monitor_switch_decision;
+        Alcotest.test_case "distinct keys" `Quick test_monitor_distinct_keys;
         Alcotest.test_case "chooses cheapest" `Quick
           test_monitor_chooses_cheapest;
+      ] );
+    ( "codegen.cacheopt",
+      [
+        Alcotest.test_case "decide" `Quick test_cacheopt_decide;
+        Alcotest.test_case "time saving" `Quick test_cacheopt_time_saving;
+        Alcotest.test_case "run_iterative" `Quick test_cacheopt_run_iterative;
       ] );
   ]

@@ -116,6 +116,56 @@ let test_shuffle_count () =
   in
   check_int "two shuffles" 2 (Plan.shuffle_count p)
 
+(* ---------------- hash partitioning ---------------- *)
+
+(* Keyed exchanges hash-partition, so every record of a key is combined
+   inside a single partition and a CA reduceByKey ships exactly one
+   record per key: shuffled bytes equal the combined output's bytes
+   even for hot keys. Round-robin would spread a hot key's records over
+   all partitions and ship one partial from each. *)
+let test_keyed_shuffle_colocates_keys () =
+  let p =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 3), x))
+      |>> reduce_by_key add_i)
+  in
+  let d = ints (List.init 3000 (fun i -> i)) in
+  let r = run ~datasets:[ ("d", d) ] p in
+  let m = List.find (fun m -> m.Engine.is_shuffle) r.Engine.stages in
+  check_int "one combined record per key crosses the network"
+    m.Engine.bytes_out m.Engine.bytes_shuffled
+
+let test_keyed_partitioning_deterministic () =
+  let p =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (x, vint 1))
+      |>> reduce_by_key add_i)
+  in
+  let d = ints (List.init 500 (fun i -> i mod 40)) in
+  let r1 = run ~datasets:[ ("d", d) ] p in
+  let r2 = run ~datasets:[ ("d", d) ] p in
+  check "same outputs" true
+    (Casper_common.Multiset.equal_values r1.Engine.output r2.Engine.output);
+  List.iter2
+    (fun (a : Engine.stage_metrics) (b : Engine.stage_metrics) ->
+      check_int "same shuffle volume" a.Engine.bytes_shuffled
+        b.Engine.bytes_shuffled)
+    r1.Engine.stages r2.Engine.stages
+
+(* un-keyed exchanges keep round-robin placement: a global reduce over
+   fewer records than workers ships one singleton partial per occupied
+   slot, not one combined record *)
+let test_global_reduce_partials_round_robin () =
+  let p = Plan.(data "d" |>> global_reduce add_i) in
+  let n = 10 in
+  let r = run ~datasets:[ ("d", ints (List.init n (fun i -> i))) ] p in
+  let m = List.find (fun m -> m.Engine.is_shuffle) r.Engine.stages in
+  check_int "one Int partial per occupied slot"
+    (n * Value.size_of (vint 0))
+    m.Engine.bytes_shuffled
+
 (* ---------------- time model ---------------- *)
 
 let wc_run n =
@@ -179,6 +229,15 @@ let suite =
         Alcotest.test_case "metrics" `Quick test_metrics_bytes;
         Alcotest.test_case "unknown dataset" `Quick test_unknown_dataset;
         Alcotest.test_case "shuffle count" `Quick test_shuffle_count;
+      ] );
+    ( "engine.partition",
+      [
+        Alcotest.test_case "keyed shuffle colocates keys" `Quick
+          test_keyed_shuffle_colocates_keys;
+        Alcotest.test_case "deterministic placement" `Quick
+          test_keyed_partitioning_deterministic;
+        Alcotest.test_case "global reduce stays round-robin" `Quick
+          test_global_reduce_partials_round_robin;
       ] );
     ( "engine.time",
       [

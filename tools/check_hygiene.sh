@@ -1,0 +1,40 @@
+#!/bin/sh
+# Source hygiene gate used by CI (and runnable locally). The toolchain
+# image has no ocamlformat, so instead of a full formatter pass this
+# enforces the invariants a formatter would: no trailing whitespace, no
+# hard tabs in OCaml sources, no leftover conflict markers, and every
+# .ml/.mli ends with a newline.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+files=$(find lib bin bench test examples -name '*.ml' -o -name '*.mli' | sort)
+
+for f in $files; do
+  if grep -qn ' $' "$f"; then
+    echo "trailing whitespace: $f"
+    grep -n ' $' "$f" | head -3
+    fail=1
+  fi
+  if grep -qnP '\t' "$f"; then
+    echo "hard tab: $f"
+    fail=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' \n')" != '\n' ]; then
+    echo "no trailing newline: $f"
+    fail=1
+  fi
+done
+
+if grep -rn '^<<<<<<< \|^>>>>>>> ' --include='*.ml' --include='*.mli' \
+    --include='*.md' --include='dune' lib bin bench test examples; then
+  echo "conflict markers found"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "hygiene check FAILED"
+  exit 1
+fi
+echo "hygiene check OK ($(echo "$files" | wc -l) files)"
