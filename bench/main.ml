@@ -23,6 +23,8 @@ module Engine = Mapreduce.Engine
 module Plan = Mapreduce.Plan
 module T = Casper_common.Tablefmt
 module Stats = Casper_common.Stats
+module J = Casper_common.Jsonout
+module Fastpath = Casper_ir.Fastpath
 open Util
 
 (* ------------------------------------------------------------------ *)
@@ -998,6 +1000,166 @@ let fault_tolerance () =
   print_string (Sched.Trace.render_events ~limit:12 o.Sched.Coordinator.trace)
 
 (* ------------------------------------------------------------------ *)
+(* Synthesis performance: fast path vs baseline                         *)
+
+let cli_no_opt = ref false
+let json_synth : J.t ref = ref J.Null
+
+type synth_run = {
+  sp_suite : string;
+  sp_wall : float;
+  sp_frags : int;
+  sp_cand : int;
+  sp_iters : int;
+}
+
+(** Synthesize every supported fragment of every suite (the Table 2
+    workload), fresh — no translation cache — and report per-suite wall
+    time and search volume. *)
+let synth_measure () : synth_run list =
+  List.map
+    (fun (suite_name, benches) ->
+      let t0 = Unix.gettimeofday () in
+      let cand = ref 0 and iters = ref 0 and nfrags = ref 0 in
+      List.iter
+        (fun (b : Casper_suites.Suite.benchmark) ->
+          let prog = Minijava.Parser.parse_program b.source in
+          let frags =
+            Casper_analysis.Analyze.fragments_of_program prog ~suite:b.suite
+              ~benchmark:b.name
+          in
+          List.iter
+            (fun (f : F.t) ->
+              if f.F.unsupported = None then begin
+                incr nfrags;
+                let o = Cegis.find_summary ~config:bench_config prog f in
+                cand := !cand + o.Cegis.stats.Cegis.candidates_tried;
+                iters := !iters + o.Cegis.stats.Cegis.cegis_iterations
+              end)
+            frags)
+        benches;
+      {
+        sp_suite = suite_name;
+        sp_wall = Unix.gettimeofday () -. t0;
+        sp_frags = !nfrags;
+        sp_cand = !cand;
+        sp_iters = !iters;
+      })
+    Casper_suites.Registry.suites
+
+let per_sec count wall =
+  if wall > 0.0 then Fmt.str "%.0f" (float_of_int count /. wall) else "-"
+
+let json_of_runs (runs : synth_run list) : J.t =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("suite", J.Str r.sp_suite);
+             ("fragments", J.Int r.sp_frags);
+             ("wall_s", J.Float r.sp_wall);
+             ("candidates", J.Int r.sp_cand);
+             ("cegis_iterations", J.Int r.sp_iters);
+             ( "candidates_per_s",
+               J.Float (float_of_int r.sp_cand /. r.sp_wall) );
+             ( "iterations_per_s",
+               J.Float (float_of_int r.sp_iters /. r.sp_wall) );
+           ])
+       runs)
+
+let synth_perf () =
+  section "Synthesis performance: fast path vs baseline (Table 2 workload)";
+  let slow = Fastpath.with_enabled false synth_measure in
+  let fast =
+    if !cli_no_opt then None
+    else begin
+      Fastpath.reset_counters ();
+      Some (Fastpath.with_enabled true synth_measure)
+    end
+  in
+  let total f l = List.fold_left (fun a r -> a +. f r) 0.0 l in
+  let sum f l = List.fold_left (fun a r -> a + f r) 0 l in
+  let rows =
+    List.mapi
+      (fun i (s : synth_run) ->
+        let fr = Option.map (fun l -> List.nth l i) fast in
+        let active = Option.value fr ~default:s in
+        [
+          s.sp_suite;
+          string_of_int s.sp_frags;
+          T.f ~digits:2 s.sp_wall;
+          (match fr with Some f -> T.f ~digits:2 f.sp_wall | None -> "-");
+          (match fr with
+          | Some f -> T.fx (s.sp_wall /. f.sp_wall)
+          | None -> "-");
+          per_sec active.sp_cand active.sp_wall;
+          per_sec active.sp_iters active.sp_wall;
+        ])
+      slow
+  in
+  let slow_total = total (fun r -> r.sp_wall) slow in
+  let fast_total = Option.map (total (fun r -> r.sp_wall)) fast in
+  let totals =
+    let active_wall = Option.value fast_total ~default:slow_total in
+    let cand = sum (fun r -> r.sp_cand) (Option.value fast ~default:slow) in
+    let iters =
+      sum (fun r -> r.sp_iters) (Option.value fast ~default:slow)
+    in
+    [
+      "TOTAL";
+      string_of_int (sum (fun r -> r.sp_frags) slow);
+      T.f ~digits:2 slow_total;
+      (match fast_total with Some t -> T.f ~digits:2 t | None -> "-");
+      (match fast_total with
+      | Some t -> T.fx (slow_total /. t)
+      | None -> "-");
+      per_sec cand active_wall;
+      per_sec iters active_wall;
+    ]
+  in
+  T.print
+    ~aligns:
+      [ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([
+       "Suite"; "# Frag"; "Baseline (s)"; "Fast (s)"; "Speedup";
+       "cand/s"; "iters/s";
+     ]
+    :: rows
+    @ [ totals ]);
+  Option.iter
+    (fun _ -> Fmt.pr "@.fast-path caches: %a@." Fastpath.pp_counters ())
+    fast;
+  json_synth :=
+    J.Obj
+      ([
+         ("workload", J.Str "table2");
+         ("baseline", json_of_runs slow);
+         ("baseline_total_s", J.Float slow_total);
+       ]
+      @ (match (fast, fast_total) with
+        | Some f, Some ft ->
+            let c = Fastpath.counters in
+            [
+              ("fast", json_of_runs f);
+              ("fast_total_s", J.Float ft);
+              ("speedup", J.Float (slow_total /. ft));
+              ( "counters",
+                J.Obj
+                  [
+                    ("eval_hits", J.Int c.Fastpath.eval_hits);
+                    ("eval_misses", J.Int c.Fastpath.eval_misses);
+                    ("emit_fp_hits", J.Int c.Fastpath.emit_fp_hits);
+                    ("emit_fp_misses", J.Int c.Fastpath.emit_fp_misses);
+                    ("phi_hits", J.Int c.Fastpath.phi_hits);
+                    ("verdict_hits", J.Int c.Fastpath.verdict_hits);
+                    ("prefix_forced", J.Int c.Fastpath.prefix_forced);
+                    ("prefix_reused", J.Int c.Fastpath.prefix_reused);
+                  ] );
+            ]
+        | _ -> []))
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 
 let micro () =
@@ -1068,6 +1230,7 @@ let sections_list =
     ("tableE1", table_e1_features);
     ("table5", table5_extensibility);
     ("fault_tolerance", fault_tolerance);
+    ("synth_perf", synth_perf);
     ("micro", micro);
   ]
 
@@ -1090,14 +1253,50 @@ let () =
      | [] -> ()
    in
    find argv);
+  if List.mem "--no-opt" argv then begin
+    cli_no_opt := true;
+    (* disable the synthesis fast path for the whole run, not just the
+       synth_perf comparison *)
+    Fastpath.enabled := false
+  end;
+  let json_path =
+    let rec find = function
+      | "--json" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let section_times = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
       match only with
       | Some names when not (List.mem name names) -> ()
-      | _ -> (
-          try f ()
-          with e ->
-            Fmt.pr "!! section %s failed: %s@." name (Printexc.to_string e)))
+      | _ ->
+          let s0 = Unix.gettimeofday () in
+          (try f ()
+           with e ->
+             Fmt.pr "!! section %s failed: %s@." name (Printexc.to_string e));
+          section_times :=
+            (name, Unix.gettimeofday () -. s0) :: !section_times)
     sections_list;
-  Fmt.pr "@.total experiment time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.total experiment time: %.1fs@." total;
+  Option.iter
+    (fun path ->
+      J.write_file path
+        (J.Obj
+           [
+             ("schema", J.Str "casper-bench/v1");
+             ("no_opt", J.Bool !cli_no_opt);
+             ( "sections",
+               J.Obj
+                 (List.rev_map
+                    (fun (n, s) -> (n, J.Float s))
+                    !section_times) );
+             ("synth", !json_synth);
+             ("total_s", J.Float total);
+           ]);
+      Fmt.pr "wrote %s@." path)
+    json_path

@@ -209,12 +209,11 @@ type out_shape =
   | MapAssoc  (** Java Map: the result *is* the association *)
 
 (** Compute the value of each bound output variable from the pipeline
-    result, against initial values [init] — the default for keys the
+    [result], against initial values [init] — the default for keys the
     pipeline never emitted (this is exactly the initiation VC's base
     case: empty data ⇒ outputs keep their initial values). *)
-let apply_summary (env : env) (datasets : (string * Value.t list) list)
-    (init : env) (shapes : (string * out_shape) list) (s : summary) : env =
-  let result = eval_node env datasets s.pipeline in
+let extract_outputs (result : bag) (init : env)
+    (shapes : (string * out_shape) list) (s : summary) : env =
   let lookup_init v =
     match List.assoc_opt v init with
     | Some x -> x
@@ -269,3 +268,7 @@ let apply_summary (env : env) (datasets : (string * Value.t list) list)
       in
       (var, value))
     s.bindings
+
+let apply_summary (env : env) (datasets : (string * Value.t list) list)
+    (init : env) (shapes : (string * out_shape) list) (s : summary) : env =
+  extract_outputs (eval_node env datasets s.pipeline) init shapes s

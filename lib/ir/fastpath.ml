@@ -1,0 +1,67 @@
+(** Global switch and instrumentation for the synthesis fast path.
+
+    The fast path (hash-consed expressions, memoized evaluation, cached
+    verification batches and verdicts) is a pure optimization: with the
+    switch off, every cache is bypassed and the search recomputes from
+    scratch, but the keying and fingerprint schemes are shared between
+    the two modes, so the searched candidate order and the returned
+    solutions and statistics are bit-identical either way (enforced by
+    the on/off equivalence tests). The switch exists for exactly two
+    callers: the equivalence tests and the [synth_perf] bench section's
+    speedup comparison. *)
+
+let enabled = ref true
+
+(** Run [f ()] with the fast path forced to [b], restoring the previous
+    setting afterwards (also on exceptions). *)
+let with_enabled b f =
+  let saved = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+(** Cache-effectiveness counters, reported by the bench harness. All are
+    cumulative; [reset] zeroes them. *)
+type counters = {
+  mutable eval_hits : int;  (** memoized (expr, env) evaluations reused *)
+  mutable eval_misses : int;  (** memoized evaluations computed *)
+  mutable emit_fp_hits : int;  (** emit fingerprints reused across classes *)
+  mutable emit_fp_misses : int;  (** emit fingerprints computed *)
+  mutable phi_hits : int;  (** Φ-state verdicts reused across candidates *)
+  mutable verdict_hits : int;
+      (** bounded/full verdicts reused by construction key *)
+  mutable prefix_forced : int;  (** sequential prefix executions performed *)
+  mutable prefix_reused : int;  (** sequential prefix executions avoided *)
+}
+
+let counters =
+  {
+    eval_hits = 0;
+    eval_misses = 0;
+    emit_fp_hits = 0;
+    emit_fp_misses = 0;
+    phi_hits = 0;
+    verdict_hits = 0;
+    prefix_forced = 0;
+    prefix_reused = 0;
+  }
+
+let reset_counters () =
+  counters.eval_hits <- 0;
+  counters.eval_misses <- 0;
+  counters.emit_fp_hits <- 0;
+  counters.emit_fp_misses <- 0;
+  counters.phi_hits <- 0;
+  counters.verdict_hits <- 0;
+  counters.prefix_forced <- 0;
+  counters.prefix_reused <- 0
+
+let pp_counters ppf () =
+  Fmt.pf ppf
+    "eval %d/%d hit, emit fps %d/%d hit, phi verdicts %d reused, \
+     bounded/full verdicts %d reused, prefixes %d run / %d reused"
+    counters.eval_hits
+    (counters.eval_hits + counters.eval_misses)
+    counters.emit_fp_hits
+    (counters.emit_fp_hits + counters.emit_fp_misses)
+    counters.phi_hits counters.verdict_hits counters.prefix_forced
+    counters.prefix_reused

@@ -1,0 +1,175 @@
+(** Hash-consing for IR expressions and summaries.
+
+    Every structurally distinct expression (and summary) gets a stable
+    small integer id for the lifetime of one synthesis run. Ids are what
+    make the fast path cheap: memoized evaluation is keyed by
+    [(expr id, env id)], observational fingerprints are arrays of
+    interned value ids, and the CEGIS blocked set Ω ∪ Δ is a hash set of
+    construction keys — [key_of] interns the list
+    [shape tag :: component ids] each enumeration shape assembles its
+    candidate from, so no candidate is ever deep-hashed or
+    pretty-printed on the fast path.
+
+    Interning uses structural equality over a deep polymorphic hash
+    ([Hashtbl.hash] only examines ~10 nodes, which would collapse every
+    candidate sharing a pipeline prefix into one bucket). Float corner
+    cases: an expression containing a NaN constant is never equal to
+    itself under [(=)], so it re-interns under a fresh id each time —
+    caches miss but every id still denotes one structural class, so
+    results are unaffected (and no MiniJava suite produces NaN
+    literals).
+
+    [clear] empties the tables (called at the top of each
+    [find_summary] so memory stays bounded by one fragment's search) but
+    never reuses ids: counters are monotonic, so a stale id can never
+    collide with a post-clear one. *)
+
+module type INTERNABLE = sig
+  type t
+
+  val hash : t -> int
+end
+
+module Interner (T : INTERNABLE) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = T.t
+
+    (* smart constructors hand back canonical representatives, so the
+       overwhelmingly common lookup is resolved by pointer equality *)
+    let equal (a : t) (b : t) = a == b || a = b
+    let hash = T.hash
+  end)
+
+  (* sized for one fragment's search (≈10⁵–10⁶ distinct candidates):
+     growing from a small table would rehash every entry ~10 times.
+     [Hashtbl.reset] keeps this initial capacity. *)
+  let tbl : (T.t * int) Tbl.t = Tbl.create 131072
+  let next = ref 0
+
+  let clear () = Tbl.reset tbl
+
+  (** Canonical representative and id of [x]'s structural class. *)
+  let intern (x : T.t) : T.t * int =
+    match Tbl.find_opt tbl x with
+    | Some entry -> entry
+    | None ->
+        let i = !next in
+        incr next;
+        Tbl.add tbl x (x, i);
+        (x, i)
+end
+
+module E = Interner (struct
+  type t = Lang.expr
+
+  (* [expr_id] runs on every memoized-eval node and every fingerprint
+     cell, so its hash must be O(1)-bounded: the default polymorphic
+     hash examines at most 10 meaningful words. Pool expressions are
+     small (≲10 nodes), so collisions are rare, and the structural
+     comparison that resolves them fails fast. *)
+  let hash (e : t) = Hashtbl.hash e
+end)
+
+module S = Interner (struct
+  type t = Lang.summary
+
+  (* runs once per enumerated candidate, so keep it bounded: 40
+     meaningful words reach the emit guards/keys/values that distinguish
+     candidates, without paying a full-tree traversal. Collisions fall
+     back to structural equality, which short-circuits on the physically
+     shared (hash-consed) subtrees. *)
+  let hash (s : t) = Hashtbl.hash_param 40 80 s
+end)
+
+(** Canonical representative of an expression: structurally equal
+    expressions share one physical value, so later interning and
+    comparison hit the pointer-equality fast path. *)
+let expr (e : Lang.expr) : Lang.expr = fst (E.intern e)
+
+let expr_id (e : Lang.expr) : int = snd (E.intern e)
+let summary_id (s : Lang.summary) : int = snd (S.intern s)
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors: build interned nodes so that grammar pools,
+   lifted sub-expressions and enumerated candidates physically share
+   common subtrees. *)
+
+open Lang
+
+let cint n = expr (CInt n)
+let cfloat f = expr (CFloat f)
+let cbool b = expr (CBool b)
+let cstr s = expr (CStr s)
+let var v = expr (Var v)
+let unop op a = expr (Unop (op, a))
+let binop op a b = expr (Binop (op, a, b))
+let call f args = expr (Call (f, args))
+let mktuple es = expr (MkTuple es)
+let tupleget a i = expr (TupleGet (a, i))
+let field a f = expr (Field (a, f))
+let ite c t e = expr (If (c, t, e))
+
+(** Rebuild an arbitrary expression bottom-up through the smart
+    constructors, maximizing physical sharing. *)
+let rec intern_deep (e : Lang.expr) : Lang.expr =
+  match e with
+  | CInt _ | CFloat _ | CBool _ | CStr _ | Var _ -> expr e
+  | Unop (op, a) -> unop op (intern_deep a)
+  | Binop (op, a, b) -> binop op (intern_deep a) (intern_deep b)
+  | Call (f, args) -> call f (List.map intern_deep args)
+  | MkTuple es -> mktuple (List.map intern_deep es)
+  | TupleGet (a, i) -> tupleget (intern_deep a) i
+  | Field (a, f) -> field (intern_deep a) f
+  | If (c, t, e') -> ite (intern_deep c) (intern_deep t) (intern_deep e')
+
+(* ------------------------------------------------------------------ *)
+(* Construction-time candidate keys.
+
+   Enumeration shapes assemble every candidate from a handful of
+   already-interned components (emits, reducers, post-map expressions),
+   so a candidate is identified by its shape tag plus the ids of its
+   components — no hash of the assembled summary record is ever needed.
+   [emit_id] interns an emit as the triple of its component expression
+   ids; [key_of] interns the component-id list of one candidate. Both
+   are injective: expression ids are bijective with interned
+   expressions, the sentinel slots (-1 no guard, -2 value payload)
+   cannot collide with real ids, and each shape uses a distinct leading
+   tag with a fixed component layout. *)
+
+let emit_tbl : (int * int * int, int) Hashtbl.t = Hashtbl.create 8192
+let emit_next = ref 0
+
+let emit_id ({ guard; payload } : Lang.emit) : int =
+  let gid = match guard with None -> -1 | Some g -> expr_id g in
+  let triple =
+    match payload with
+    | Lang.KV (k, v) -> (gid, expr_id k, expr_id v)
+    | Lang.Val v -> (gid, -2, expr_id v)
+  in
+  match Hashtbl.find_opt emit_tbl triple with
+  | Some i -> i
+  | None ->
+      let i = !emit_next in
+      incr emit_next;
+      Hashtbl.add emit_tbl triple i;
+      i
+
+(* sized like the interners: one entry per distinct candidate of a
+   fragment's search *)
+let key_tbl : (int list, int) Hashtbl.t = Hashtbl.create 131072
+let key_next = ref 0
+
+let key_of (components : int list) : int =
+  match Hashtbl.find_opt key_tbl components with
+  | Some i -> i
+  | None ->
+      let i = !key_next in
+      incr key_next;
+      Hashtbl.add key_tbl components i;
+      i
+
+let clear () =
+  E.clear ();
+  S.clear ();
+  Hashtbl.reset emit_tbl;
+  Hashtbl.reset key_tbl

@@ -1,0 +1,372 @@
+(** Memoized IR evaluation and interned observational fingerprints.
+
+    The synthesis search evaluates the same (expression, probe state)
+    pairs over and over: every emit combination re-evaluates its guard,
+    key and value on every probe, and the same pool expressions appear
+    in thousands of candidates. This module computes each pair once.
+
+    - [wrap] gives a probe environment a unique id; [eval] is keyed by
+      [(expr id, env id)] and mirrors {!Eval.eval_expr} case for case
+      (including [And]/[Or]/[If] short-circuiting and error messages),
+      recursing through the memoized self so shared subtrees are also
+      shared work.
+    - [value_id] is the fingerprint cell: the id of the evaluated
+      value's printed form (errors intern as ["#err"]). Interning by the
+      printed string — not by the structural value — reproduces exactly
+      the observational-equivalence classes of the original
+      string-concatenation fingerprints (e.g. [Int 1] and [Float 1.0]
+      both print as ["1"] and must stay in one class).
+    - [fingerprint] packs the cells into an int array ([Ids]); with
+      {!Fastpath.enabled} off it instead builds the original
+      concatenated-string fingerprint ([Text]), so the baseline mode
+      pays exactly the pre-fast-path string costs. Both keys partition
+      expressions by the same printed-value sequences, so dedup keeps
+      the same representatives in the same order in both modes (the
+      equivalence tests enforce this end to end). *)
+
+module Value = Casper_common.Value
+module Library = Casper_common.Library
+open Lang
+
+type cenv = { env_id : int; env : Eval.env }
+
+let env_counter = ref 0
+
+let wrap (env : Eval.env) : cenv =
+  incr env_counter;
+  { env_id = !env_counter; env }
+
+(* ------------------------------------------------------------------ *)
+(* Memoized evaluation                                                 *)
+
+let eval_tbl : (int, (Value.t, exn) result) Hashtbl.t =
+  Hashtbl.create 262144
+
+let c = Fastpath.counters
+
+(* (expr id, env id) packed into one immediate int: both counters are
+   process-monotonic but stay far below 2^31, and an unboxed key avoids
+   allocating a tuple per cache probe *)
+let key (eid : int) (env_id : int) : int = (eid lsl 31) lor env_id
+
+let rec meval (cv : cenv) (e : expr) : Value.t =
+  match e with
+  (* leaves are cheaper to evaluate than to look up *)
+  | CInt n -> Int n
+  | CFloat f -> Float f
+  | CBool b -> Bool b
+  | CStr s -> Str s
+  | Var v -> (
+      match List.assoc_opt v cv.env with
+      | Some x -> x
+      | None -> Eval.err "unbound IR variable %s" v)
+  | _ -> (
+      let key = key (Hashcons.expr_id e) cv.env_id in
+      match Hashtbl.find_opt eval_tbl key with
+      | Some (Ok v) ->
+          c.eval_hits <- c.eval_hits + 1;
+          v
+      | Some (Error ex) ->
+          c.eval_hits <- c.eval_hits + 1;
+          raise ex
+      | None -> (
+          c.eval_misses <- c.eval_misses + 1;
+          match step cv e with
+          | v ->
+              Hashtbl.add eval_tbl key (Ok v);
+              v
+          | exception ((Eval.Eval_error _ | Value.Type_error _) as ex) ->
+              Hashtbl.add eval_tbl key (Error ex);
+              raise ex))
+
+(* one evaluation step, mirroring Eval.eval_expr exactly; leaf cases are
+   handled by [meval] above *)
+and step (cv : cenv) (e : expr) : Value.t =
+  match e with
+  | CInt _ | CFloat _ | CBool _ | CStr _ | Var _ -> assert false
+  | Unop (Neg, a) -> (
+      match meval cv a with
+      | Int n -> Int (-n)
+      | Float f -> Float (-.f)
+      | _ -> Eval.err "negation of non-number")
+  | Unop (Not, a) -> Bool (not (Value.as_bool (meval cv a)))
+  | Binop (And, a, b) ->
+      if Value.as_bool (meval cv a) then meval cv b else Bool false
+  | Binop (Or, a, b) ->
+      if Value.as_bool (meval cv a) then Bool true else meval cv b
+  | Binop (op, a, b) -> Eval.eval_binop op (meval cv a) (meval cv b)
+  | Call (f, args) -> (
+      let argv = List.map (meval cv) args in
+      try Library.apply f argv with
+      | Library.Unknown_method m -> Eval.err "unknown library method %s" m
+      | Value.Type_error m -> Eval.err "%s" m)
+  | MkTuple es -> Tuple (List.map (meval cv) es)
+  | TupleGet (a, i) -> (
+      match meval cv a with
+      | Tuple xs -> (
+          match List.nth_opt xs i with
+          | Some x -> x
+          | None -> Eval.err "tuple index %d out of range" i)
+      | _ -> Eval.err "tuple projection of non-tuple")
+  | Field (a, f) -> (
+      match meval cv a with
+      | Struct (_, fields) -> (
+          match List.assoc_opt f fields with
+          | Some x -> x
+          | None -> Eval.err "no field %s" f)
+      | _ -> Eval.err "field access on non-struct")
+  | If (cnd, t, e') ->
+      if Value.as_bool (meval cv cnd) then meval cv t else meval cv e'
+
+(** Evaluate [e] in [cv], memoized when the fast path is on. Raises
+    exactly what {!Eval.eval_expr} raises. *)
+let eval (cv : cenv) (e : expr) : Value.t =
+  if !Fastpath.enabled then meval cv e else Eval.eval_expr cv.env e
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint cells                                                   *)
+
+(* printed value -> small id; the id space is shared by every dedup
+   table so fingerprints are plain int arrays *)
+let str_ids : (string, int) Hashtbl.t = Hashtbl.create 4096
+let str_next = ref 0
+
+let id_of_string (s : string) : int =
+  match Hashtbl.find_opt str_ids s with
+  | Some i -> i
+  | None ->
+      let i = !str_next in
+      incr str_next;
+      Hashtbl.add str_ids s i;
+      i
+
+(* printed form of one fingerprint cell; ["#err"] on any evaluation
+   error, exactly as the original string fingerprints encoded it. A
+   per-(expr, probe) cell cache was tried here and removed: probe sets
+   are small and mostly distinct per pool expression, so the cache paid
+   more in table traffic than it saved in re-evaluation. *)
+let cell_str (cv : cenv) (e : expr) : string =
+  match Eval.eval_expr cv.env e with
+  | v -> Value.to_string v
+  | exception _ -> "#err"
+
+(** Fingerprint cell of [(e, cv)]: the interned printed value, ["#err"]
+    on any evaluation error — the same classes as the original
+    [Value.to_string]-based fingerprints. *)
+let value_id (cv : cenv) (e : expr) : int = id_of_string (cell_str cv e)
+
+(** Guard firing on a probe: [Some b] when the guard evaluates to a
+    boolean, [None] on non-boolean results or evaluation errors. *)
+let bool_of (cv : cenv) (e : expr) : bool option =
+  match Eval.eval_expr cv.env e with
+  | Value.Bool b -> Some b
+  | _ -> None
+  | exception _ -> None
+
+(** Observational fingerprint key. [Ids] (fast path) is an array of
+    interned value-cell ids; [Text] (baseline) is the original
+    concatenated printed form. One printed sequence maps to one key
+    under either constructor, so both modes dedup identically. *)
+type fp = Ids of int array | Text of string
+
+(** Observational fingerprint of an expression over a probe set. *)
+let fingerprint (cprobes : cenv list) (e : expr) : fp =
+  if !Fastpath.enabled then (
+    let a = Array.make (List.length cprobes) 0 in
+    List.iteri (fun i cv -> a.(i) <- value_id cv e) cprobes;
+    Ids a)
+  else Text (String.concat "|" (List.map (fun cv -> cell_str cv e) cprobes))
+
+(** Fast-path cache of emit fingerprints, keyed by the interned ids of
+    the emit's components: [(guard, key, value)] for key-value payloads,
+    [(guard, -2, value)] for plain values, with [-1] for a missing
+    guard. Every grammar class re-proposes the same component
+    combinations from grown pools; their observed behaviour cannot
+    change within one fragment search, so the 2-cells-per-probe
+    evaluation runs once per combination instead of once per class.
+    Cleared by {!clear} together with the interners — stale ids can
+    never collide because id counters are monotonic. *)
+let emit_fp_tbl : (int * int * int, int array) Hashtbl.t =
+  Hashtbl.create 32768
+
+(** Hash table keyed by fingerprints. The generic hash only examines ~10
+    values; id arrays over up to 48 probes need every slot hashed or
+    buckets collapse (strings hash in full either way). *)
+module Fp_tbl = Hashtbl.Make (struct
+  type t = fp
+
+  let equal (a : t) (b : t) = a = b
+
+  let hash = function
+    | Ids a -> Hashtbl.hash_param 64 64 a
+    | Text s -> Hashtbl.hash s
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized summary application: the per-candidate verification check.
+
+   [Vc.check_prepared] applies every candidate to the same states and
+   dataset prefixes. For a Map stage over a source dataset, the element
+   environments (entry state + λm parameter bindings) are candidate-
+   independent, and the emit guard/key/value expressions are drawn from
+   shared hash-consed pools — so the per-element evaluations repeat
+   across candidates and across prefixes of one state. This mirror of
+   [Eval.eval_node] wraps each element environment once per state and
+   routes emit evaluation through the [(expr id, env id)] memo table.
+
+   Exactness: results and raised exception constructors are identical to
+   the plain evaluator. The only divergence is error *messages* when a
+   λm arity error competes with an evaluation error on an earlier
+   element (bindings are materialized per state, not per candidate);
+   both collapse to the same [Invalid_summary]/[Ir_error] treatment. *)
+
+type elt_cache = {
+  mutable ec_elts : Value.t list;
+  mutable ec_envs : cenv array;
+}
+
+(* (base env id, dataset, λm params) -> element envs; prefixes of one
+   state share element values physically, so prefix k + 1 extends the
+   cached array instead of rebinding elements 0..k *)
+let elt_envs_tbl : (int * string * string list, elt_cache) Hashtbl.t =
+  Hashtbl.create 256
+
+let rec phys_prefix (xs : Value.t list) (ys : Value.t list) : bool =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x == y && phys_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let map_elt_envs (base : cenv) (d : string) (params : string list)
+    (elts : Value.t list) : cenv array =
+  let tkey = (base.env_id, d, params) in
+  let build (prev : cenv array) : cenv array =
+    let m = Array.length prev in
+    Array.of_list
+      (List.mapi
+         (fun j elt ->
+           if j < m then prev.(j)
+           else wrap (Eval.bind_params base.env params elt))
+         elts)
+  in
+  match Hashtbl.find_opt elt_envs_tbl tkey with
+  | Some ec when phys_prefix elts ec.ec_elts -> ec.ec_envs
+  | Some ec when phys_prefix ec.ec_elts elts ->
+      let envs = build ec.ec_envs in
+      ec.ec_elts <- elts;
+      ec.ec_envs <- envs;
+      envs
+  | _ ->
+      let envs = build [||] in
+      Hashtbl.replace elt_envs_tbl tkey { ec_elts = elts; ec_envs = envs };
+      envs
+
+(* [Eval.apply_lam_m] against a pre-bound element env *)
+let apply_lam_m_c (cv : cenv) (lm : lam_m) :
+    [ `KV of (Value.t * Value.t) list | `V of Value.t list ] =
+  let kvs = ref [] and vs = ref [] in
+  List.iter
+    (fun { guard; payload } ->
+      let fire =
+        match guard with
+        | None -> true
+        | Some g -> Value.as_bool (eval cv g)
+      in
+      if fire then
+        match payload with
+        | KV (k, v) -> kvs := (eval cv k, eval cv v) :: !kvs
+        | Val v -> vs := eval cv v :: !vs)
+    lm.emits;
+  match (!kvs, !vs) with
+  | [], [] -> `KV []
+  | kvs, [] -> `KV (List.rev kvs)
+  | [], vs -> `V (List.rev vs)
+  | _ -> Eval.err "λm mixes key-value and plain emits"
+
+let collect_map (apply : Value.t -> int -> [ `KV of (Value.t * Value.t) list | `V of Value.t list ])
+    (elts : Value.t list) : Eval.bag =
+  let kvs = ref [] and vs = ref [] in
+  List.iteri
+    (fun j elt ->
+      match apply elt j with
+      | `KV l -> kvs := List.rev_append l !kvs
+      | `V l -> vs := List.rev_append l !vs)
+    elts;
+  match (List.rev !kvs, List.rev !vs) with
+  | [], [] -> Eval.Pairs []
+  | kvs, [] -> Eval.Pairs kvs
+  | [], vs -> Eval.Vals vs
+  | _ -> Eval.err "map emits mixed shapes across records"
+
+(* [Eval.eval_node], with the Map-over-source-data case memoized *)
+let rec eval_node_m (base : cenv) (datasets : (string * Value.t list) list)
+    (n : node) : Eval.bag =
+  match n with
+  | Data _ -> Eval.eval_node base.env datasets n
+  | Map (Data d, lm) ->
+      let records =
+        match List.assoc_opt d datasets with
+        | Some records -> records
+        | None -> Eval.err "unknown dataset %s" d
+      in
+      let envs = map_elt_envs base d lm.m_params records in
+      collect_map (fun _elt j -> apply_lam_m_c envs.(j) lm) records
+  | Map (src, lm) ->
+      (* intermediate elements are not stable across candidates: plain *)
+      let elts = Eval.elements (eval_node_m base datasets src) in
+      collect_map (fun elt _ -> Eval.apply_lam_m base.env lm elt) elts
+  | Reduce (src, lr) -> (
+      match eval_node_m base datasets src with
+      | Eval.Pairs kvs ->
+          let groups = Casper_common.Multiset.group_by_key kvs in
+          Eval.Pairs
+            (List.map
+               (fun (k, vs) ->
+                 match vs with
+                 | [] -> assert false
+                 | v0 :: rest ->
+                     (k, List.fold_left (Eval.apply_lam_r base.env lr) v0 rest))
+               groups)
+      | Eval.Records l | Eval.Vals l -> (
+          match l with
+          | [] -> Eval.Vals []
+          | v0 :: rest ->
+              Eval.Vals
+                [ List.fold_left (Eval.apply_lam_r base.env lr) v0 rest ]))
+  | Join (a, b) -> (
+      match (eval_node_m base datasets a, eval_node_m base datasets b) with
+      | Eval.Pairs l1, Eval.Pairs l2 ->
+          Eval.Pairs
+            (List.concat_map
+               (fun (k1, v1) ->
+                 List.filter_map
+                   (fun (k2, v2) ->
+                     if Value.equal k1 k2 then
+                       Some (k1, Value.Tuple [ v1; v2 ])
+                     else None)
+                   l2)
+               l1)
+      | _ -> Eval.err "join expects key-value inputs on both sides")
+
+(** [Eval.apply_summary] with the Map stage memoized per (emit
+    expression, element environment). [base] must wrap the same
+    environment passed as the evaluation env. *)
+let apply_summary (base : cenv) (datasets : (string * Value.t list) list)
+    (init : Eval.env) (shapes : (string * Eval.out_shape) list)
+    (s : summary) : Eval.env =
+  if not !Fastpath.enabled then
+    Eval.apply_summary base.env datasets init shapes s
+  else Eval.extract_outputs (eval_node_m base datasets s.pipeline) init shapes s
+
+(* ------------------------------------------------------------------ *)
+
+(** Drop every memo table (evaluations, fingerprint cells, element
+    environments, interned expressions and summaries). Called at the top
+    of [find_summary] so memory is bounded by one fragment's search; env
+    ids keep counting so stale ids can never collide. *)
+let clear () =
+  Hashtbl.reset eval_tbl;
+  Hashtbl.reset str_ids;
+  Hashtbl.reset elt_envs_tbl;
+  Hashtbl.reset emit_fp_tbl;
+  Hashcons.clear ()

@@ -23,6 +23,8 @@ module Verifier = Casper_verify.Verifier
 module Statesgen = Casper_verify.Statesgen
 module Vc = Casper_vcgen.Vc
 module Value = Casper_common.Value
+module Memo = Casper_ir.Memo
+module Fastpath = Casper_ir.Fastpath
 
 type config = {
   incremental : bool;  (** false = Table 3's flat-grammar ablation *)
@@ -81,7 +83,7 @@ type outcome = {
     guard that is rarely true (TPC-H Q6's five-way conjunction) would be
     observationally equal to [false] and deduplicated out of its own
     grammar. *)
-let make_probes prog (frag : F.t) : Casper_ir.Eval.env list =
+let make_probes_uncached prog (frag : F.t) : Casper_ir.Eval.env list =
   let dom = Statesgen.full_domain frag in
   let batch = Statesgen.gen_batch ~seed:97 ~count:30 dom prog frag in
   let params =
@@ -178,45 +180,179 @@ let make_probes prog (frag : F.t) : Casper_ir.Eval.env list =
         bools;
       List.filteri (fun i _ -> i < 48) !selected
 
-let summary_key (s : Ir.summary) : string = Ir.summary_to_string s
+(* probe selection is a pure function of the program and fragment, and
+   [find_summary] needs it twice (pool construction and solution
+   ranking) — cache it per (program, fragment) *)
+let probe_cache :
+    (Minijava.Ast.program * F.t, Casper_ir.Eval.env list) Hashtbl.t =
+  Hashtbl.create 32
+
+let make_probes prog (frag : F.t) : Casper_ir.Eval.env list =
+  if not !Fastpath.enabled then make_probes_uncached prog frag
+  else
+    let key = (prog, frag) in
+    match Hashtbl.find_opt probe_cache key with
+    | Some probes -> probes
+    | None ->
+        let probes = make_probes_uncached prog frag in
+        Hashtbl.add probe_cache key probes;
+        probes
 
 (* ------------------------------------------------------------------ *)
 
 type search_state = {
   mutable phi : Minijava.Interp.env list;  (** counter-example states Φ *)
-  blocked : (string, unit) Hashtbl.t;  (** Ω ∪ Δ, by canonical text *)
+  mutable phi_prepared : (int * Verifier.prepared) list;
+      (** fast path: Φ with per-state ids, same order as [phi] *)
+  mutable next_sid : int;
+  phi_verdicts : (int, bool) Hashtbl.t;
+      (** packed (candidate key, Φ-state id) → holds; Φ verdicts survive
+          across grammar classes, so a candidate re-encountered in a
+          higher class re-checks only Φ states added since *)
+  bounded_verdicts : (int, Verifier.outcome) Hashtbl.t;
+  full_verdicts : (int, Verifier.outcome) Hashtbl.t;
+  blocked : (int, unit) Hashtbl.t;
+      (** Ω ∪ Δ, by the construction key each candidate was enumerated
+          under (see [Enumerate]) *)
+  blocked_text : (string, unit) Hashtbl.t;
+      (** Ω ∪ Δ in baseline mode, by pretty-printed candidate text —
+          the original keying, kept so [--no-opt] pays the original
+          per-candidate printing cost. Both keys are injective on the
+          candidates one search enumerates, so the same candidates are
+          skipped in the same order in both modes (equivalence tests
+          check this end to end). *)
   mutable tried : int;
   mutable iters : int;
   mutable tp_fail : int;
   budget : int;
 }
 
+let make_state ?(phi = []) prog frag ~budget : search_state =
+  let st =
+    {
+      phi = [];
+      phi_prepared = [];
+      next_sid = 0;
+      phi_verdicts = Hashtbl.create 65536;
+      bounded_verdicts = Hashtbl.create 64;
+      full_verdicts = Hashtbl.create 16;
+      blocked = Hashtbl.create 64;
+      blocked_text = Hashtbl.create 64;
+      tried = 0;
+      iters = 0;
+      tp_fail = 0;
+      budget;
+    }
+  in
+  (* prepend in reverse so [st.phi] ends up in the given order *)
+  List.iter
+    (fun state ->
+      st.phi <- state :: st.phi;
+      if !Fastpath.enabled then (
+        let sid = st.next_sid in
+        st.next_sid <- sid + 1;
+        st.phi_prepared <-
+          (sid, Verifier.prepare_one prog frag state) :: st.phi_prepared))
+    (List.rev phi);
+  st
+
+let add_phi (st : search_state) prog frag (state : Minijava.Interp.env) :
+    unit =
+  st.phi <- state :: st.phi;
+  if !Fastpath.enabled then (
+    let sid = st.next_sid in
+    st.next_sid <- sid + 1;
+    st.phi_prepared <-
+      (sid, Verifier.prepare_one prog frag state) :: st.phi_prepared)
+
+(* Ω ∪ Δ insertion: construction key on the fast path, printed text on
+   the baseline ([cid] is 0 there — the baseline never computes keys). *)
+let block (st : search_state) (c : Ir.summary) (cid : int) : unit =
+  if !Fastpath.enabled then Hashtbl.replace st.blocked cid ()
+  else Hashtbl.replace st.blocked_text (Ir.summary_to_string c) ()
+
+(* [Verifier.holds_on] with per-(candidate, state) verdicts memoized.
+   Same walk order and early exit as [check_batch], so outcomes are
+   identical; cached verdicts only skip re-computing a conjunct that was
+   already decided for this candidate. *)
+let holds_on_cached (st : search_state) frag (c : Ir.summary) (cid : int) :
+    bool =
+  let rec walk = function
+    | [] -> true
+    | (sid, p) :: rest ->
+        let key = (cid lsl 31) lor sid in
+        let pass =
+          match Hashtbl.find_opt st.phi_verdicts key with
+          | Some b ->
+              Fastpath.counters.phi_hits <- Fastpath.counters.phi_hits + 1;
+              b
+          | None ->
+              let b = Verifier.check_prepared_one frag c p in
+              Hashtbl.add st.phi_verdicts key b;
+              b
+        in
+        if pass then walk rest else false
+  in
+  walk st.phi_prepared
+
 (** Figure 5 lines 1–8: find the next candidate in [cands] that survives
-    Φ and bounded model checking. *)
+    Φ and bounded model checking. [bounded] is the pre-generated bounded
+    batch shared by every candidate of this search (fast path only;
+    generation is deterministic, so it equals the per-call batch the
+    plain path regenerates). *)
 let synthesize (cfg : config) (st : search_state) prog frag
-    (cands : Ir.summary Seq.t) : (Ir.summary * Ir.summary Seq.t) option =
-  let rec go (s : Ir.summary Seq.t) =
+    ~(bounded : Verifier.prepared list Lazy.t)
+    (cands : (Ir.summary * int) Seq.t) :
+    (Ir.summary * int * (Ir.summary * int) Seq.t) option =
+  let fast = !Fastpath.enabled in
+  let rec go (s : (Ir.summary * int) Seq.t) =
     if st.tried >= st.budget then None
     else
       match s () with
       | Seq.Nil -> None
-      | Seq.Cons (c, rest) ->
-          if Hashtbl.mem st.blocked (summary_key c) then go rest
+      | Seq.Cons ((c, cid), rest) ->
+          (* fast: O(1) membership by the construction key the shape
+             assembled the candidate under; baseline: the original
+             pretty-print-and-hash keying *)
+          let skip =
+            if fast then Hashtbl.mem st.blocked cid
+            else Hashtbl.mem st.blocked_text (Ir.summary_to_string c)
+          in
+          if skip then go rest
           else (
             st.tried <- st.tried + 1;
-            if not (Verifier.holds_on prog frag c st.phi) then go rest
+            let holds =
+              if fast then holds_on_cached st frag c cid
+              else Verifier.holds_on prog frag c st.phi
+            in
+            if not holds then go rest
             else (
               st.iters <- st.iters + 1;
-              match
-                Verifier.bounded_check ~seed:cfg.seed
-                  ~count:cfg.bounded_states prog frag c
-              with
-              | Verifier.Valid -> Some (c, rest)
+              let outcome =
+                if fast then (
+                  match Hashtbl.find_opt st.bounded_verdicts cid with
+                  | Some o ->
+                      Fastpath.counters.verdict_hits <-
+                        Fastpath.counters.verdict_hits + 1;
+                      o
+                  | None ->
+                      let o =
+                        Verifier.check_prepared_batch frag c
+                          (Lazy.force bounded)
+                      in
+                      Hashtbl.add st.bounded_verdicts cid o;
+                      o)
+                else
+                  Verifier.bounded_check ~seed:cfg.seed
+                    ~count:cfg.bounded_states prog frag c
+              in
+              match outcome with
+              | Verifier.Valid -> Some (c, cid, rest)
               | Verifier.Counterexample phi_state ->
-                  st.phi <- phi_state :: st.phi;
+                  add_phi st prog frag phi_state;
                   go rest
               | Verifier.Invalid_summary _ ->
-                  Hashtbl.replace st.blocked (summary_key c) ();
+                  block st c cid;
                   go rest))
   in
   go cands
@@ -284,6 +420,9 @@ let static_cost prog (frag : F.t) (probe : Casper_ir.Eval.env)
 (** Figure 5 lines 10–24: the full search. *)
 let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
     (frag : F.t) : outcome =
+  (* fresh memo/hash-cons tables per search; interned ids are monotonic,
+     so entries from earlier searches can never alias new ones *)
+  Memo.clear ();
   let t0 = Unix.gettimeofday () in
   let finish ~classes ~timed_out st solutions =
     let probe =
@@ -316,55 +455,85 @@ let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
   in
   match frag.unsupported with
   | Some _ ->
-      let st =
-        { phi = []; blocked = Hashtbl.create 1; tried = 0; iters = 0;
-          tp_fail = 0; budget = 0 }
-      in
-      finish ~classes:0 ~timed_out:false st []
+      finish ~classes:0 ~timed_out:false (make_state prog frag ~budget:0) []
   | None ->
-      let probes = make_probes prog frag in
-      let pools = G.build prog frag probes in
+      (* pools are only needed by the class loop — built lazily so a
+         fragment solved by decomposition never pays for them *)
+      let pools = lazy (G.build prog frag (make_probes prog frag)) in
       let klasses =
         if config.incremental then G.classes frag else [ G.flat_class frag ]
       in
       let st =
-        {
-          phi =
-            (let dom = Statesgen.bounded_domain frag in
-             Statesgen.gen_batch ~seed:(config.seed + 1) ~count:3 dom prog
-               frag);
-          blocked = Hashtbl.create 64;
-          tried = 0;
-          iters = 0;
-          tp_fail = 0;
-          budget = config.max_candidates;
-        }
+        let phi =
+          let dom = Statesgen.bounded_domain frag in
+          Statesgen.gen_batch ~seed:(config.seed + 1) ~count:3 dom prog frag
+        in
+        make_state ~phi prog frag ~budget:config.max_candidates
+      in
+      (* the bounded batch every candidate of this search is checked
+         against; generation is deterministic, so this equals the batch
+         [Verifier.bounded_check] would regenerate per candidate *)
+      let bounded =
+        lazy
+          (let dom = Statesgen.bounded_domain frag in
+           Verifier.prepare_batch prog frag
+             (Statesgen.gen_batch ~seed:config.seed
+                ~count:config.bounded_states dom prog frag))
+      in
+      let full_prepared =
+        lazy
+          (let dom = Statesgen.full_domain frag in
+           Verifier.prepare_batch prog frag
+             (Statesgen.gen_batch ~seed:1301 ~count:config.full_states dom
+                prog frag))
+      in
+      let full_verify_c (c : Ir.summary) (cid : int) : Verifier.outcome =
+        if not !Fastpath.enabled then
+          Verifier.full_verify ~count:config.full_states prog frag c
+        else
+          match Hashtbl.find_opt st.full_verdicts cid with
+          | Some o ->
+              Fastpath.counters.verdict_hits <-
+                Fastpath.counters.verdict_hits + 1;
+              o
+          | None ->
+              let o =
+                Verifier.check_prepared_batch frag c
+                  (Lazy.force full_prepared)
+              in
+              Hashtbl.add st.full_verdicts cid o;
+              o
       in
       let delta = ref [] in
+      (* once the budget or solution quota is hit, candidate shapes not
+         yet forced can be skipped wholesale: the consumer below stops
+         under exactly this condition before pulling another element *)
+      let stop () =
+        st.tried >= st.budget || List.length !delta >= config.max_solutions
+      in
       let rec class_loop classes_done = function
         | [] -> finish ~classes:classes_done ~timed_out:false st !delta
         | k :: rest ->
-            let cands = Enumerate.candidates prog frag pools k in
+            let cands =
+              Enumerate.candidates ~stop prog frag (Lazy.force pools) k
+            in
             let rec inner cands =
               if
                 st.tried >= st.budget
                 || List.length !delta >= config.max_solutions
               then `Stop
               else
-                match synthesize config st prog frag cands with
+                match synthesize config st prog frag ~bounded cands with
                 | None -> `Exhausted
-                | Some (c, cands_rest) ->
-                    Hashtbl.replace st.blocked (summary_key c) ();
-                    (match
-                       Verifier.full_verify ~count:config.full_states prog
-                         frag c
-                     with
+                | Some (c, cid, cands_rest) ->
+                    block st c cid;
+                    (match full_verify_c c cid with
                     | Verifier.Valid -> delta := (c, k.G.k_id) :: !delta
                     | Verifier.Counterexample phi_state ->
                         (* theorem-prover rejection: block and refine Φ so
                            related candidates die in the inner loop *)
                         st.tp_fail <- st.tp_fail + 1;
-                        st.phi <- phi_state :: st.phi
+                        add_phi st prog frag phi_state
                     | Verifier.Invalid_summary _ ->
                         st.tp_fail <- st.tp_fail + 1);
                     inner cands_rest
@@ -493,12 +662,27 @@ and decompose_multi_output ~(config : config) prog (frag : F.t) :
         common
     in
     let verified =
-      List.filter
-        (fun s ->
+      let valid =
+        if not !Fastpath.enabled then fun s ->
           match Verifier.full_verify ~count:config.full_states prog frag s with
           | Verifier.Valid -> true
-          | _ -> false)
-        merged_candidates
+          | _ -> false
+        else
+          let prepared =
+            lazy
+              (let dom = Statesgen.full_domain frag in
+               Verifier.prepare_batch prog frag
+                 (Statesgen.gen_batch ~seed:1301 ~count:config.full_states
+                    dom prog frag))
+          in
+          fun s ->
+            match
+              Verifier.check_prepared_batch frag s (Lazy.force prepared)
+            with
+            | Verifier.Valid -> true
+            | _ -> false
+      in
+      List.filter valid merged_candidates
     in
     match verified with
     | [] -> None

@@ -15,6 +15,8 @@ module F = Casper_analysis.Fragment
 module Ir = Casper_ir.Lang
 module G = Grammar
 module Value = Casper_common.Value
+module Memo = Casper_ir.Memo
+module H = Casper_ir.Hashcons
 
 let seq_of_list = List.to_seq
 
@@ -27,49 +29,101 @@ let vals pools ~max_len ty = seq_of_list (vals_list pools ~max_len ty)
 
 (* Deduplicated (guard, key, value) emit candidates: two emits that fire
    on the same probes with the same key and value are the same grammar
-   production. This is what keeps class traversal tractable. *)
-let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
-    string =
-  String.concat "|"
-    (List.map
-       (fun env ->
-         let fired =
-           match guard with
-           | None -> true
-           | Some g -> (
-               match Casper_ir.Eval.eval_expr env g with
-               | Value.Bool b -> b
-               | _ -> false
-               | exception _ -> false)
-         in
-         if not fired then "-"
-         else
-           match payload with
-           | Ir.KV (k, v) -> (
-               let s e =
-                 match Casper_ir.Eval.eval_expr env e with
-                 | x -> Value.to_string x
-                 | exception _ -> "#err"
-               in
-               s k ^ ":" ^ s v)
-           | Ir.Val v -> (
-               match Casper_ir.Eval.eval_expr env v with
-               | x -> Value.to_string x
-               | exception _ -> "#err"))
-       pools.G.probes)
+   production. This is what keeps class traversal tractable.
 
-let dedupe_emits (pools : G.pools) ?(limit = 512) (emits : Ir.emit list) :
+   The fast-path fingerprint is two interned value-cells per probe:
+   [(-1, -1)] when the guard does not fire, [(key, value)] cells for
+   key-value payloads, [(-2, value)] for plain-value payloads. The
+   baseline fingerprint is the original concatenated printed form
+   (["-"] when the guard does not fire, ["k:v"] / ["v"] otherwise);
+   both key one observed behaviour per emit, so dedup keeps the same
+   emits in the same order either way. *)
+let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
+    Memo.fp =
+  let cps = pools.G.cprobes in
+  let fired cv =
+    match guard with
+    | None -> true
+    | Some g -> ( match Memo.bool_of cv g with Some b -> b | None -> false)
+  in
+  if !Casper_ir.Fastpath.enabled then (
+    (* every class re-proposes combinations of the same pool components:
+       cache the computed cells per (guard, key, value) id triple *)
+    let ckey =
+      let gid = match guard with None -> -1 | Some g -> H.expr_id g in
+      match payload with
+      | Ir.KV (k, v) -> (gid, H.expr_id k, H.expr_id v)
+      | Ir.Val v -> (gid, -2, H.expr_id v)
+    in
+    match Hashtbl.find_opt Memo.emit_fp_tbl ckey with
+    | Some a ->
+        let c = Casper_ir.Fastpath.counters in
+        c.Casper_ir.Fastpath.emit_fp_hits <-
+          c.Casper_ir.Fastpath.emit_fp_hits + 1;
+        Memo.Ids a
+    | None ->
+        let c = Casper_ir.Fastpath.counters in
+        c.Casper_ir.Fastpath.emit_fp_misses <-
+          c.Casper_ir.Fastpath.emit_fp_misses + 1;
+        let a = Array.make (2 * List.length cps) 0 in
+        List.iteri
+          (fun i cv ->
+            if not (fired cv) then (
+              a.(2 * i) <- -1;
+              a.((2 * i) + 1) <- -1)
+            else
+              match payload with
+              | Ir.KV (k, v) ->
+                  a.(2 * i) <- Memo.value_id cv k;
+                  a.((2 * i) + 1) <- Memo.value_id cv v
+              | Ir.Val v ->
+                  a.(2 * i) <- -2;
+                  a.((2 * i) + 1) <- Memo.value_id cv v)
+          cps;
+        Hashtbl.add Memo.emit_fp_tbl ckey a;
+        Memo.Ids a)
+  else
+    Memo.Text
+      (String.concat "|"
+         (List.map
+            (fun cv ->
+              if not (fired cv) then "-"
+              else
+                match payload with
+                | Ir.KV (k, v) -> Memo.cell_str cv k ^ ":" ^ Memo.cell_str cv v
+                | Ir.Val v -> Memo.cell_str cv v)
+            cps))
+
+(** Observational dedup of emit candidates, capped at [limit] survivors.
+    The cap is applied *during* filtering: once [limit] distinct emits
+    have been kept, the remaining candidates are never fingerprinted
+    (they could only be dropped — output order is preserved by the
+    filter, so capping during and capping after select the same
+    emits). *)
+let dedupe_emits_seq (pools : G.pools) ?(limit = 512)
+    (emits : Ir.emit Seq.t) : Ir.emit list =
+  let seen = Memo.Fp_tbl.create 128 in
+  let out = ref [] in
+  let n = ref 0 in
+  let rec go s =
+    if !n >= limit then ()
+    else
+      match s () with
+      | Seq.Nil -> ()
+      | Seq.Cons (e, rest) ->
+          let f = emit_fingerprint pools e in
+          if not (Memo.Fp_tbl.mem seen f) then (
+            Memo.Fp_tbl.add seen f ();
+            out := e :: !out;
+            incr n);
+          go rest
+  in
+  go emits;
+  List.rev !out
+
+let dedupe_emits (pools : G.pools) ?limit (emits : Ir.emit list) :
     Ir.emit list =
-  let seen = Hashtbl.create 128 in
-  List.filter
-    (fun e ->
-      let f = emit_fingerprint pools e in
-      if Hashtbl.mem seen f then false
-      else (
-        Hashtbl.add seen f ();
-        true))
-    emits
-  |> G.cap limit
+  dedupe_emits_seq pools ?limit (List.to_seq emits)
 
 (** Keyed emit candidates for a collection output. *)
 let kv_emits (pools : G.pools) (k : G.klass) ?limit
@@ -77,22 +131,22 @@ let kv_emits (pools : G.pools) (k : G.klass) ?limit
   (* guards outermost (unguarded first), keys innermost, so that the cap
      never starves a later key of its cheap (guard, value) combinations.
      Values are re-ordered by plain grammar length: constants make
-     perfectly good values (counting emits [(k, 1)]), unlike keys. *)
+     perfectly good values (counting emits [(k, 1)]), unlike keys.
+     Combinations are generated lazily so that once the dedup cap is
+     reached, the tail is never even constructed. *)
   let val_pool =
     List.sort
       (fun a b -> compare (G.glen pools a, a) (G.glen pools b, b))
       val_pool
   in
-  List.concat_map
-    (fun g ->
-      List.concat_map
-        (fun v ->
-          List.map
-            (fun key -> { Ir.guard = g; payload = Ir.KV (key, v) })
-            key_pool)
-        val_pool)
-    (G.guards pools ~max_len:k.G.max_len)
-  |> dedupe_emits pools ?limit
+  let combos =
+    let* g = seq_of_list (G.guards pools ~max_len:k.G.max_len) in
+    let* v = seq_of_list val_pool in
+    Seq.map
+      (fun key -> { Ir.guard = g; payload = Ir.KV (key, v) })
+      (seq_of_list key_pool)
+  in
+  dedupe_emits_seq pools ?limit combos
 
 (** Output-variable IR types. *)
 let scalar_out_ty (t : Minijava.Ast.ty) : Ir.ty =
@@ -120,17 +174,17 @@ let post_pool (pools : G.pools) ~(v : string) (vt : Ir.ty) ~(out_ty : Ir.ty)
     : Ir.expr list =
   let terminals =
     match vt with
-    | Ir.TTuple ts -> List.mapi (fun i _ -> Ir.TupleGet (Ir.Var v, i)) ts
-    | _ -> [ Ir.Var v ]
+    | Ir.TTuple ts -> List.mapi (fun i _ -> H.tupleget (H.var v) i) ts
+    | _ -> [ H.var v ]
   in
   let scalar_terms =
     List.filter_map
       (fun (s, t) ->
         match t with
-        | Ir.TInt | Ir.TFloat -> Some (Ir.Var s)
+        | Ir.TInt | Ir.TFloat -> Some (H.var s)
         | _ -> None)
       pools.G.scalars
-    @ [ Ir.CInt 1; Ir.CInt 2; Ir.CFloat 1.0 ]
+    @ [ H.cint 1; H.cint 2; H.cfloat 1.0 ]
   in
   let arith =
     List.filter G.is_arith (Ir.Add :: Ir.Sub :: Ir.Div :: pools.G.ops)
@@ -141,7 +195,7 @@ let post_pool (pools : G.pools) ~(v : string) (vt : Ir.ty) ~(out_ty : Ir.ty)
       (fun op ->
         List.concat_map
           (fun a ->
-            List.map (fun b -> Ir.Binop (op, a, b)) (terminals @ scalar_terms))
+            List.map (fun b -> H.binop op a b) (terminals @ scalar_terms))
           terminals)
       arith
   in
@@ -174,7 +228,7 @@ let post_pool (pools : G.pools) ~(v : string) (vt : Ir.ty) ~(out_ty : Ir.ty)
   let probes =
     List.concat_map (fun s -> List.map (fun b -> (v, s) :: b) bases) samples
   in
-  G.cap 16 (G.dedupe probes well_typed)
+  G.dedupe ~limit:16 probes well_typed
 
 (* --------------------------------------------------------------- *)
 (* Shape generators                                                 *)
@@ -182,22 +236,48 @@ let post_pool (pools : G.pools) ~(v : string) (vt : Ir.ty) ~(out_ty : Ir.ty)
 let mk_map_emits params emits = { Ir.m_params = params; emits }
 let param_names pools = List.map fst pools.G.params
 
+(* Construction-time candidate keys (fast path): every shape assembles
+   its candidates from small pools of already-deduped components, so the
+   component ids are computed once per pool element — outside the
+   per-candidate product loops — and each candidate's key is the
+   interned list of a distinct shape tag followed by those ids (see
+   [Hashcons.key_of]). In baseline mode no ids are computed and every
+   key is 0: the baseline identifies candidates by printed text. *)
+let emits_ids (l : Ir.emit list) : (Ir.emit * int) list =
+  if !Casper_ir.Fastpath.enabled then
+    List.map (fun e -> (e, H.emit_id e)) l
+  else List.map (fun e -> (e, 0)) l
+
+let exprs_ids (l : Ir.expr list) : (Ir.expr * int) list =
+  if !Casper_ir.Fastpath.enabled then
+    List.map (fun e -> (e, H.expr_id e)) l
+  else List.map (fun e -> (e, 0)) l
+
+(* reducers all bind the same parameter names, so the body id alone
+   identifies one *)
+let reducers_ids (l : Ir.lam_r list) : (Ir.lam_r * int) list =
+  if !Casper_ir.Fastpath.enabled then
+    List.map (fun lr -> (lr, H.expr_id lr.Ir.r_body)) l
+  else List.map (fun lr -> (lr, 0)) l
+
 (** 1 op: global reduce directly over a list of scalar records. *)
 let shape_reduce_only (frag : F.t) (pools : G.pools) (k : G.klass) :
-    Ir.summary Seq.t =
+    (Ir.summary * int) Seq.t =
   match (frag.schema, frag.outputs) with
   | F.SList { elem_ty; _ }, [ (out, _, F.KScalar) ] ->
       let ety = Casper_analysis.Analyze.ir_ty elem_ty in
       (match ety with
       | Ir.TInt | Ir.TFloat | Ir.TBool | Ir.TString ->
           let d = F.primary_dataset frag in
+          let fast = !Casper_ir.Fastpath.enabled in
           Seq.map
-            (fun lr ->
-              {
-                Ir.pipeline = Ir.Reduce (Ir.Data d, lr);
-                bindings = [ (out, Ir.Proj None) ];
-              })
-            (seq_of_list (G.reducers pools ety))
+            (fun (lr, rid) ->
+              ( {
+                  Ir.pipeline = Ir.Reduce (Ir.Data d, lr);
+                  bindings = [ (out, Ir.Proj None) ];
+                },
+                if fast then H.key_of [ 1; rid ] else 0 ))
+            (seq_of_list (reducers_ids (G.reducers pools ety)))
       | _ -> Seq.empty)
   | _ ->
       ignore k;
@@ -205,7 +285,7 @@ let shape_reduce_only (frag : F.t) (pools : G.pools) (k : G.klass) :
 
 (** 1 op: map only — keyed output rebuilt per record. *)
 let shape_map_only (frag : F.t) (pools : G.pools) (k : G.klass) :
-    Ir.summary Seq.t =
+    (Ir.summary * int) Seq.t =
   match frag.outputs with
   | [ (out, oty, (F.KArray | F.KMap)) ] ->
       let d = F.primary_dataset frag in
@@ -217,13 +297,15 @@ let shape_map_only (frag : F.t) (pools : G.pools) (k : G.klass) :
           ~val_pool:(vals_list pools ~max_len:k.max_len vty)
           ()
       in
+      let fast = !Casper_ir.Fastpath.enabled in
       Seq.map
-        (fun e ->
-          {
-            Ir.pipeline = Ir.Map (Ir.Data d, mk_map_emits params [ e ]);
-            bindings = [ (out, Ir.Whole) ];
-          })
-        (seq_of_list emits)
+        (fun (e, eid) ->
+          ( {
+              Ir.pipeline = Ir.Map (Ir.Data d, mk_map_emits params [ e ]);
+              bindings = [ (out, Ir.Whole) ];
+            },
+            if fast then H.key_of [ 2; eid ] else 0 ))
+        (seq_of_list (emits_ids emits))
   | _ -> Seq.empty
 
 (** Emit-candidate list for one scalar output, observationally deduped
@@ -231,52 +313,20 @@ let shape_map_only (frag : F.t) (pools : G.pools) (k : G.klass) :
     the probes). *)
 let scalar_emits (pools : G.pools) (k : G.klass) (out : string)
     (oty : Ir.ty) : Ir.emit list =
+  (* every emit shares the fixed key [CStr out], so the general emit
+     fingerprint collapses to the (guard, value) behaviour — the same
+     dedup classes as fingerprinting the value alone *)
   let combos =
-    List.concat_map
-      (fun g ->
-        List.map
-          (fun v ->
-            { Ir.guard = g; payload = Ir.KV (Ir.CStr out, v) })
-          (vals_list pools ~max_len:k.max_len oty))
-      (G.guards pools ~max_len:k.max_len)
+    let* g = seq_of_list (G.guards pools ~max_len:k.max_len) in
+    Seq.map
+      (fun v -> { Ir.guard = g; payload = Ir.KV (H.cstr out, v) })
+      (seq_of_list (vals_list pools ~max_len:k.max_len oty))
   in
-  (* dedupe by emit behaviour on the probes *)
-  let fp { Ir.guard; payload } =
-    String.concat "|"
-      (List.map
-         (fun env ->
-           let fired =
-             match guard with
-             | None -> true
-             | Some g -> (
-                 match Casper_ir.Eval.eval_expr env g with
-                 | Value.Bool b -> b
-                 | _ -> false
-                 | exception _ -> false)
-           in
-           if not fired then "-"
-           else
-             match payload with
-             | Ir.KV (_, v) | Ir.Val v -> (
-                 match Casper_ir.Eval.eval_expr env v with
-                 | x -> Value.to_string x
-                 | exception _ -> "#err"))
-         pools.G.probes)
-  in
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun e ->
-      let f = fp e in
-      if Hashtbl.mem seen f then false
-      else (
-        Hashtbl.add seen f ();
-        true))
-    combos
-  |> G.cap 64
+  dedupe_emits_seq pools ~limit:64 combos
 
 (** 2 ops: reduce(map(data)) — keyed by output-variable id. *)
 let shape_map_reduce_keyed (frag : F.t) (pools : G.pools) (k : G.klass) :
-    Ir.summary Seq.t =
+    (Ir.summary * int) Seq.t =
   let scalars =
     List.filter_map
       (fun (v, t, kd) ->
@@ -295,7 +345,9 @@ let shape_map_reduce_keyed (frag : F.t) (pools : G.pools) (k : G.klass) :
         let d = F.primary_dataset frag in
         let params = param_names pools in
         let per_out =
-          List.map (fun (o, t) -> scalar_emits pools k o t) scalars
+          List.map
+            (fun (o, t) -> emits_ids (scalar_emits pools k o t))
+            scalars
         in
         let rec cart = function
           | [] -> Seq.return []
@@ -303,23 +355,28 @@ let shape_map_reduce_keyed (frag : F.t) (pools : G.pools) (k : G.klass) :
               let* e = seq_of_list pool in
               Seq.map (fun tl -> e :: tl) (cart rest)
         in
-        let* emits = cart per_out in
+        let fast = !Casper_ir.Fastpath.enabled in
+        let* picks = cart per_out in
+        let emits = List.map fst picks in
+        let eids = if fast then List.map snd picks else [] in
         Seq.map
-          (fun lr ->
-            {
-              Ir.pipeline =
-                Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params emits), lr);
-              bindings =
-                List.map
-                  (fun (o, _) -> (o, Ir.AtKey (Value.Str o)))
-                  scalars;
-            })
-          (seq_of_list (G.reducers pools vty))
+          (fun (lr, rid) ->
+            ( {
+                Ir.pipeline =
+                  Ir.Reduce
+                    (Ir.Map (Ir.Data d, mk_map_emits params emits), lr);
+                bindings =
+                  List.map
+                    (fun (o, _) -> (o, Ir.AtKey (Value.Str o)))
+                    scalars;
+              },
+              if fast then H.key_of ((3 :: eids) @ [ rid ]) else 0 ))
+          (seq_of_list (reducers_ids (G.reducers pools vty)))
     | _ -> Seq.empty (* mixed-type keyed outputs need tuple shapes *)
 
 (** 2 ops: global reduce over plain emitted values (tuple style). *)
 let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
-    Ir.summary Seq.t =
+    (Ir.summary * int) Seq.t =
   let scalars =
     List.filter_map
       (fun (v, t, kd) ->
@@ -344,19 +401,23 @@ let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
             (G.guards pools ~max_len:k.max_len)
           |> dedupe_emits pools
         in
-        let* e = seq_of_list emits in
+        let fast = !Casper_ir.Fastpath.enabled in
+        let* e, eid = seq_of_list (emits_ids emits) in
         Seq.map
-          (fun lr ->
-            {
-              Ir.pipeline =
-                Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params [ e ]), lr);
-              bindings = [ (out, Ir.Proj None) ];
-            })
-          (seq_of_list (G.reducers pools oty))
+          (fun (lr, rid) ->
+            ( {
+                Ir.pipeline =
+                  Ir.Reduce
+                    (Ir.Map (Ir.Data d, mk_map_emits params [ e ]), lr);
+                bindings = [ (out, Ir.Proj None) ];
+              },
+              if fast then H.key_of [ 4; eid; rid ] else 0 ))
+          (seq_of_list (reducers_ids (G.reducers pools oty)))
     | _ when k.allow_tuples && List.length scalars <= 3 ->
         let slot_pools =
           List.map
-            (fun (_, t) -> G.cap 10 (vals_list pools ~max_len:k.max_len t))
+            (fun (_, t) ->
+              exprs_ids (G.cap 10 (vals_list pools ~max_len:k.max_len t)))
             scalars
         in
         let rec cart = function
@@ -366,38 +427,46 @@ let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
               Seq.map (fun tl -> e :: tl) (cart rest)
         in
         let vty = Ir.TTuple (List.map snd scalars) in
-        let* slots = cart slot_pools in
+        let fast = !Casper_ir.Fastpath.enabled in
+        let* picks = cart slot_pools in
+        let slots = List.map fst picks in
+        let sids = if fast then List.map snd picks else [] in
         Seq.map
-          (fun lr ->
-            {
-              Ir.pipeline =
-                Ir.Reduce
-                  ( Ir.Map
-                      ( Ir.Data d,
-                        mk_map_emits params
-                          [
-                            { Ir.guard = None; payload = Ir.Val (Ir.MkTuple slots) };
-                          ] ),
-                    lr );
-              bindings =
-                List.mapi (fun i (o, _) -> (o, Ir.Proj (Some i))) scalars;
-            })
-          (seq_of_list (G.reducers pools vty))
+          (fun (lr, rid) ->
+            ( {
+                Ir.pipeline =
+                  Ir.Reduce
+                    ( Ir.Map
+                        ( Ir.Data d,
+                          mk_map_emits params
+                            [
+                              {
+                                Ir.guard = None;
+                                payload = Ir.Val (Ir.MkTuple slots);
+                              };
+                            ] ),
+                      lr );
+                bindings =
+                  List.mapi (fun i (o, _) -> (o, Ir.Proj (Some i))) scalars;
+              },
+              if fast then H.key_of ((5 :: sids) @ [ rid ]) else 0 ))
+          (seq_of_list (reducers_ids (G.reducers pools vty)))
     | _ -> Seq.empty
 
 (** 2 ops: reduce(map(data)) for a keyed (array/map) output. *)
 let shape_map_reduce_collection (frag : F.t) (pools : G.pools) (k : G.klass)
-    : Ir.summary Seq.t =
+    : (Ir.summary * int) Seq.t =
   match frag.outputs with
   | [ (out, oty, (F.KArray | F.KMap)) ] ->
       let d = F.primary_dataset frag in
       let params = param_names pools in
       let kty = key_out_ty oty and vty = elem_out_ty oty in
       let emits =
-        kv_emits pools k ~limit:4096
-          ~key_pool:(G.cap 8 (vals_list pools ~max_len:k.max_len kty))
-          ~val_pool:(G.cap 14 (vals_list pools ~max_len:k.max_len vty))
-          ()
+        emits_ids
+          (kv_emits pools k ~limit:4096
+             ~key_pool:(G.cap 8 (vals_list pools ~max_len:k.max_len kty))
+             ~val_pool:(G.cap 14 (vals_list pools ~max_len:k.max_len vty))
+             ())
       in
       (* multi-emit bodies (3D Histogram emits one pair per channel):
          unordered combinations from the head of the deduped emit pool *)
@@ -430,21 +499,25 @@ let shape_map_reduce_collection (frag : F.t) (pools : G.pools) (k : G.klass)
                       h))
                h)
       in
-      let* body = seq_of_list (single @ pairs @ triples) in
+      let fast = !Casper_ir.Fastpath.enabled in
+      let* picks = seq_of_list (single @ pairs @ triples) in
+      let body = List.map fst picks in
+      let eids = if fast then List.map snd picks else [] in
       Seq.map
-        (fun lr ->
-          {
-            Ir.pipeline =
-              Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params body), lr);
-            bindings = [ (out, Ir.Whole) ];
-          })
-        (seq_of_list (G.reducers pools vty))
+        (fun (lr, rid) ->
+          ( {
+              Ir.pipeline =
+                Ir.Reduce (Ir.Map (Ir.Data d, mk_map_emits params body), lr);
+              bindings = [ (out, Ir.Whole) ];
+            },
+            if fast then H.key_of ((6 :: eids) @ [ rid ]) else 0 ))
+        (seq_of_list (reducers_ids (G.reducers pools vty)))
   | _ -> Seq.empty
 
 (** 3 ops: map(reduce(map(data))) — keyed, with a post-processing map
     that rewrites each reduced value (row-wise mean's [v / cols]). *)
 let shape_map_reduce_map_collection (frag : F.t) (pools : G.pools)
-    (k : G.klass) : Ir.summary Seq.t =
+    (k : G.klass) : (Ir.summary * int) Seq.t =
   match frag.outputs with
   | [ (out, oty, (F.KArray | F.KMap)) ] ->
       let d = F.primary_dataset frag in
@@ -456,36 +529,38 @@ let shape_map_reduce_map_collection (frag : F.t) (pools : G.pools)
           ~val_pool:(G.cap 16 (vals_list pools ~max_len:k.max_len vty))
           ()
       in
-      let* e = seq_of_list emits in
-      let* lr = seq_of_list (G.reducers pools vty) in
+      let fast = !Casper_ir.Fastpath.enabled in
+      let* e, eid = seq_of_list (emits_ids emits) in
+      let* lr, rid = seq_of_list (reducers_ids (G.reducers pools vty)) in
       let post = post_pool pools ~v:"v" vty ~out_ty:(elem_out_ty oty) in
       Seq.map
-        (fun e2 ->
-          {
-            Ir.pipeline =
-              Ir.Map
-                ( Ir.Reduce
-                    ( Ir.Map
-                        (Ir.Data d, mk_map_emits params [ e ]),
-                      lr ),
-                  mk_map_emits [ "k"; "v" ]
-                    [
-                      {
-                        Ir.guard = None;
-                        payload = Ir.KV (Ir.Var "k", e2);
-                      };
-                    ] );
-            bindings = [ (out, Ir.Whole) ];
-          })
+        (fun (e2, pid) ->
+          ( {
+              Ir.pipeline =
+                Ir.Map
+                  ( Ir.Reduce
+                      ( Ir.Map
+                          (Ir.Data d, mk_map_emits params [ e ]),
+                        lr ),
+                    mk_map_emits [ "k"; "v" ]
+                      [
+                        {
+                          Ir.guard = None;
+                          payload = Ir.KV (Ir.Var "k", e2);
+                        };
+                      ] );
+              bindings = [ (out, Ir.Whole) ];
+            },
+            if fast then H.key_of [ 7; eid; rid; pid ] else 0 ))
         (seq_of_list
-           (List.filter (fun e -> e <> Ir.Var "v") post))
+           (exprs_ids (List.filter (fun e -> e <> Ir.Var "v") post)))
   | _ -> Seq.empty
 
 (** 3 ops: map(reduce(map(data))) with a global tuple reduction and a
     final map that computes each scalar output from the folded tuple
     (Delta's [max - min]). *)
 let shape_map_reduce_map_global (frag : F.t) (pools : G.pools) (k : G.klass)
-    : Ir.summary Seq.t =
+    : (Ir.summary * int) Seq.t =
   let scalars =
     List.filter_map
       (fun (v, t, kd) ->
@@ -505,47 +580,57 @@ let shape_map_reduce_map_global (frag : F.t) (pools : G.pools) (k : G.klass)
       List.sort_uniq compare (List.map snd scalars)
       |> List.filter (fun t -> t = Ir.TInt || t = Ir.TFloat)
     in
+    let fast = !Casper_ir.Fastpath.enabled in
     let* bty = seq_of_list base_tys in
-    let* b = seq_of_list (G.cap 8 (vals_list pools ~max_len:k.max_len bty)) in
+    let* b, bid =
+      seq_of_list (exprs_ids (G.cap 8 (vals_list pools ~max_len:k.max_len bty)))
+    in
     let vty = Ir.TTuple [ bty; bty ] in
-    let* lr =
+    let* lr, rid =
       seq_of_list
-        (List.filter
-           (fun lr -> match lr.Ir.r_body with Ir.MkTuple _ -> true | _ -> false)
-           (G.reducers pools vty))
+        (reducers_ids
+           (List.filter
+              (fun lr ->
+                match lr.Ir.r_body with Ir.MkTuple _ -> true | _ -> false)
+              (G.reducers pools vty)))
     in
     let post = post_pool pools ~v:"t" vty ~out_ty:bty in
+    let post_p = exprs_ids (G.cap 8 post) in
     let rec choose_exprs outs =
       match outs with
       | [] -> Seq.return []
       | (o, _) :: rest ->
-          let* e = seq_of_list (G.cap 8 post) in
-          Seq.map (fun tl -> (o, e) :: tl) (choose_exprs rest)
+          let* p = seq_of_list post_p in
+          Seq.map (fun tl -> (o, p) :: tl) (choose_exprs rest)
     in
     Seq.map
       (fun choices ->
-        {
-          Ir.pipeline =
-            Ir.Map
-              ( Ir.Reduce
-                  ( Ir.Map
-                      ( Ir.Data d,
-                        mk_map_emits params
-                          [
-                            {
-                              Ir.guard = None;
-                              payload = Ir.Val (Ir.MkTuple [ b; b ]);
-                            };
-                          ] ),
-                    lr ),
-                mk_map_emits [ "t" ]
-                  (List.map
-                     (fun (o, e) ->
-                       { Ir.guard = None; payload = Ir.KV (Ir.CStr o, e) })
-                     choices) );
-          bindings =
-            List.map (fun (o, _) -> (o, Ir.AtKey (Value.Str o))) choices;
-        })
+        ( {
+            Ir.pipeline =
+              Ir.Map
+                ( Ir.Reduce
+                    ( Ir.Map
+                        ( Ir.Data d,
+                          mk_map_emits params
+                            [
+                              {
+                                Ir.guard = None;
+                                payload = Ir.Val (Ir.MkTuple [ b; b ]);
+                              };
+                            ] ),
+                      lr ),
+                  mk_map_emits [ "t" ]
+                    (List.map
+                       (fun (o, (e, _)) ->
+                         { Ir.guard = None; payload = Ir.KV (Ir.CStr o, e) })
+                       choices) );
+            bindings =
+              List.map (fun (o, _) -> (o, Ir.AtKey (Value.Str o))) choices;
+          },
+          if fast then
+            H.key_of
+              (8 :: bid :: rid :: List.map (fun (_, (_, pid)) -> pid) choices)
+          else 0 ))
       (choose_exprs scalars)
 
 (* --------------------------------------------------------------- *)
@@ -555,13 +640,13 @@ let rec subst (m : (string * Ir.expr) list) (e : Ir.expr) : Ir.expr =
   match e with
   | Ir.Var v -> ( match List.assoc_opt v m with Some e' -> e' | None -> e)
   | Ir.CInt _ | Ir.CFloat _ | Ir.CBool _ | Ir.CStr _ -> e
-  | Ir.Unop (op, a) -> Ir.Unop (op, subst m a)
-  | Ir.Binop (op, a, b) -> Ir.Binop (op, subst m a, subst m b)
-  | Ir.Call (f, args) -> Ir.Call (f, List.map (subst m) args)
-  | Ir.MkTuple es -> Ir.MkTuple (List.map (subst m) es)
-  | Ir.TupleGet (a, i) -> Ir.TupleGet (subst m a, i)
-  | Ir.Field (a, f) -> Ir.Field (subst m a, f)
-  | Ir.If (a, b, c) -> Ir.If (subst m a, subst m b, subst m c)
+  | Ir.Unop (op, a) -> H.unop op (subst m a)
+  | Ir.Binop (op, a, b) -> H.binop op (subst m a) (subst m b)
+  | Ir.Call (f, args) -> H.call f (List.map (subst m) args)
+  | Ir.MkTuple es -> H.mktuple (List.map (subst m) es)
+  | Ir.TupleGet (a, i) -> H.tupleget (subst m a) i
+  | Ir.Field (a, f) -> H.field (subst m a) f
+  | Ir.If (a, b, c) -> H.ite (subst m a) (subst m b) (subst m c)
 
 (** Join-key candidates: equality conditions in the body that compare an
     [x1]-only expression with an [x2]-only expression, plus same-typed
@@ -626,12 +711,20 @@ let join_keys (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools) :
     keyed by variable id; map outputs keyed by an expression over the
     joined pair. *)
 let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
-    (k : G.klass) : Ir.summary Seq.t =
+    (k : G.klass) : (Ir.summary * int) Seq.t =
   match frag.schema with
   | F.SJoin { d1; x1; d2; x2; _ } ->
       let keys = join_keys prog frag pools in
       if List.is_empty keys then Seq.empty
       else
+        let fast = !Casper_ir.Fastpath.enabled in
+        let keys =
+          List.map
+            (fun (k1, k2) ->
+              if fast then (k1, k2, H.expr_id k1, H.expr_id k2)
+              else (k1, k2, 0, 0))
+            keys
+        in
         let m =
           [
             (x1, Ir.TupleGet (Ir.Var "p", 0));
@@ -676,15 +769,19 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
               | _ -> None)
             frag.outputs
         in
+        let guards_of bools =
+          (None, -1)
+          :: List.map
+               (fun (b, i) -> (Some b, i))
+               (exprs_ids (G.cap 12 bools))
+        in
         (match scalars with
         | [ (out, oty) ] ->
-            let* key1, key2 = seq_of_list keys in
-            let* g =
-              seq_of_list (None :: List.map (fun b -> Some b) (G.cap 12 bools))
-            in
-            let* v = seq_of_list (G.cap 16 (val_pool oty)) in
+            let* key1, key2, k1id, k2id = seq_of_list keys in
+            let* g, gid = seq_of_list (guards_of bools) in
+            let* v, vid = seq_of_list (exprs_ids (G.cap 16 (val_pool oty))) in
             Seq.map
-              (fun lr ->
+              (fun (lr, rid) ->
                 let core =
                   Ir.Join
                     ( Ir.Map
@@ -706,22 +803,24 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
                               };
                             ] ) )
                 in
-                {
-                  Ir.pipeline =
-                    Ir.Reduce
-                      ( Ir.Map
-                          ( core,
-                            mk_map_emits [ "k"; "p" ]
-                              [
-                                {
-                                  Ir.guard = g;
-                                  payload = Ir.KV (Ir.CStr out, v);
-                                };
-                              ] ),
-                        lr );
-                  bindings = [ (out, Ir.AtKey (Value.Str out)) ];
-                })
-              (seq_of_list (G.reducers pools oty))
+                ( {
+                    Ir.pipeline =
+                      Ir.Reduce
+                        ( Ir.Map
+                            ( core,
+                              mk_map_emits [ "k"; "p" ]
+                                [
+                                  {
+                                    Ir.guard = g;
+                                    payload = Ir.KV (Ir.CStr out, v);
+                                  };
+                                ] ),
+                          lr );
+                    bindings = [ (out, Ir.AtKey (Value.Str out)) ];
+                  },
+                  if fast then H.key_of [ 9; k1id; k2id; gid; vid; rid ]
+                  else 0 ))
+              (seq_of_list (reducers_ids (G.reducers pools oty)))
         | _ -> (
             match frag.outputs with
             | [ (out, oty, (F.KMap | F.KArray)) ] ->
@@ -733,15 +832,14 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
                   | Ir.TString -> lift_pool pools.G.strings
                   | _ -> []
                 in
-                let* key1, key2 = seq_of_list keys in
-                let* okey = seq_of_list (G.cap 8 kpool) in
-                let* g =
-                  seq_of_list
-                    (None :: List.map (fun b -> Some b) (G.cap 12 bools))
+                let* key1, key2, k1id, k2id = seq_of_list keys in
+                let* okey, okid = seq_of_list (exprs_ids (G.cap 8 kpool)) in
+                let* g, gid = seq_of_list (guards_of bools) in
+                let* v, vid =
+                  seq_of_list (exprs_ids (G.cap 16 (val_pool vty)))
                 in
-                let* v = seq_of_list (G.cap 16 (val_pool vty)) in
                 Seq.map
-                  (fun lr ->
+                  (fun (lr, rid) ->
                     let core =
                       Ir.Join
                         ( Ir.Map
@@ -763,22 +861,25 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
                                   };
                                 ] ) )
                     in
-                    {
-                      Ir.pipeline =
-                        Ir.Reduce
-                          ( Ir.Map
-                              ( core,
-                                mk_map_emits [ "k"; "p" ]
-                                  [
-                                    {
-                                      Ir.guard = g;
-                                      payload = Ir.KV (okey, v);
-                                    };
-                                  ] ),
-                            lr );
-                      bindings = [ (out, Ir.Whole) ];
-                    })
-                  (seq_of_list (G.reducers pools vty))
+                    ( {
+                        Ir.pipeline =
+                          Ir.Reduce
+                            ( Ir.Map
+                                ( core,
+                                  mk_map_emits [ "k"; "p" ]
+                                    [
+                                      {
+                                        Ir.guard = g;
+                                        payload = Ir.KV (okey, v);
+                                      };
+                                    ] ),
+                              lr );
+                        bindings = [ (out, Ir.Whole) ];
+                      },
+                      if fast then
+                        H.key_of [ 10; k1id; k2id; okid; gid; vid; rid ]
+                      else 0 ))
+                  (seq_of_list (reducers_ids (G.reducers pools vty)))
             | _ -> Seq.empty))
         |> fun s ->
         ignore k;
@@ -787,29 +888,45 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
 
 (* --------------------------------------------------------------- *)
 
-(** All candidates of one grammar class, cheapest shapes first. *)
-let candidates (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
-    (k : G.klass) : Ir.summary Seq.t =
-  let shapes =
+(** All candidates of one grammar class, cheapest shapes first.
+
+    Shapes are thunks: a shape's emit pools (an eager, possibly large
+    construction) are only built when enumeration actually reaches it.
+    [stop] is the consumer's own stop condition (budget exhausted or
+    [max_solutions] saturated); once it fires, remaining shapes are
+    pruned without being built. Order-preserving by construction: the
+    consumer stops consuming at exactly the point [stop] becomes true,
+    so the pruned tail was unreachable anyway. *)
+let candidates ?(stop = fun () -> false) (prog : Minijava.Ast.program)
+    (frag : F.t) (pools : G.pools) (k : G.klass) : (Ir.summary * int) Seq.t =
+  let shapes : (unit -> (Ir.summary * int) Seq.t) list =
     match frag.schema with
-    | F.SJoin _ -> [ shape_join prog frag pools k ]
+    | F.SJoin _ -> [ (fun () -> shape_join prog frag pools k) ]
     | _ ->
         (if k.max_ops >= 1 then
-           [ shape_reduce_only frag pools k; shape_map_only frag pools k ]
+           [
+             (fun () -> shape_reduce_only frag pools k);
+             (fun () -> shape_map_only frag pools k);
+           ]
          else [])
         @ (if k.max_ops >= 2 then
              [
-               shape_map_reduce_keyed frag pools k;
-               shape_map_reduce_global frag pools k;
-               shape_map_reduce_collection frag pools k;
+               (fun () -> shape_map_reduce_keyed frag pools k);
+               (fun () -> shape_map_reduce_global frag pools k);
+               (fun () -> shape_map_reduce_collection frag pools k);
              ]
            else [])
         @
         if k.max_ops >= 3 then
           [
-            shape_map_reduce_map_collection frag pools k;
-            shape_map_reduce_map_global frag pools k;
+            (fun () -> shape_map_reduce_map_collection frag pools k);
+            (fun () -> shape_map_reduce_map_global frag pools k);
           ]
         else []
   in
-  Seq.concat (List.to_seq shapes)
+  let rec chain fs () =
+    match fs with
+    | [] -> Seq.Nil
+    | f :: rest -> if stop () then Seq.Nil else Seq.append (f ()) (chain rest) ()
+  in
+  chain shapes

@@ -19,6 +19,8 @@ module F = Casper_analysis.Fragment
 module Ir = Casper_ir.Lang
 module Value = Casper_common.Value
 module Eval = Casper_ir.Eval
+module Memo = Casper_ir.Memo
+module H = Casper_ir.Hashcons
 
 type klass = {
   k_id : int;
@@ -70,21 +72,15 @@ let flat_class (frag : F.t) : klass =
 type probe = Eval.env list
 (** environments binding λ parameters and free scalars *)
 
-let fingerprint (probes : probe) (e : Ir.expr) : string =
-  String.concat "|"
-    (List.map
-       (fun env ->
-         match Eval.eval_expr env e with
-         | v -> Value.to_string v
-         | exception _ -> "#err")
-       probes)
-
-(** Keep the structurally smallest expression per behaviour. The result
-    is sorted by expression size — enumeration visits cheap productions
-    first, which is what biases the search towards inexpensive summaries
-    (§4.2). *)
-let dedupe ?(keep = fun _ -> false) ?(size = Ir.expr_size) (probes : probe)
-    (exprs : Ir.expr list) : Ir.expr list =
+(** Keep the structurally smallest expression per behaviour, capped at
+    [limit] survivors. The result is sorted by expression size —
+    enumeration visits cheap productions first, which is what biases the
+    search towards inexpensive summaries (§4.2). The cap is applied
+    *during* filtering, so expressions past it never pay fingerprint
+    cost; the output is identical to filtering everything and capping
+    afterwards. *)
+let dedupe_c ?(keep = fun _ -> false) ?(size = Ir.expr_size) ?limit
+    (cprobes : Memo.cenv list) (exprs : Ir.expr list) : Ir.expr list =
   let sorted =
     (* order by grammar length (harvested productions count as leaves),
        input-dependent expressions before constants, dropping exact
@@ -94,20 +90,34 @@ let dedupe ?(keep = fun _ -> false) ?(size = Ir.expr_size) (probes : probe)
       (fun a b -> compare (size a, const a, a) (size b, const b, b))
       exprs
   in
-  let seen = Hashtbl.create 64 in
-  List.filter
-    (fun e ->
-      (* expressions harvested from the fragment body are explicit
-         productions of the specialized grammar (Appendix D); they are
-         never folded into an observationally-equivalent substitute *)
-      if keep e then true
-      else
-        let fp = fingerprint probes e in
-        if Hashtbl.mem seen fp then false
-        else (
-          Hashtbl.add seen fp ();
-          true))
-    sorted
+  let lim = Option.value limit ~default:max_int in
+  let seen = Memo.Fp_tbl.create 64 in
+  let out = ref [] in
+  let n = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | _ :: _ when !n >= lim -> ()
+    | e :: rest ->
+        (* expressions harvested from the fragment body are explicit
+           productions of the specialized grammar (Appendix D); they are
+           never folded into an observationally-equivalent substitute *)
+        (if keep e then (
+           out := e :: !out;
+           incr n)
+         else
+           let fp = Memo.fingerprint cprobes e in
+           if not (Memo.Fp_tbl.mem seen fp) then (
+             Memo.Fp_tbl.add seen fp ();
+             out := e :: !out;
+             incr n));
+        go rest
+  in
+  go sorted;
+  List.rev !out
+
+let dedupe ?keep ?size ?limit (probes : probe) (exprs : Ir.expr list) :
+    Ir.expr list =
+  dedupe_c ?keep ?size ?limit (List.map Memo.wrap probes) exprs
 
 (* ------------------------------------------------------------------ *)
 (* Typed expression pools                                              *)
@@ -120,6 +130,7 @@ type pools = {
   bools : Ir.expr list;  (** guard candidates *)
   strings : Ir.expr list;
   probes : probe;
+  cprobes : Memo.cenv list;  (** [probes], wrapped once for memoized eval *)
   ops : Ir.binop list;
   structs : (string * (string * Ir.ty) list) list;
   harvested : (Ir.expr, unit) Hashtbl.t;
@@ -170,7 +181,7 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
         | Ir.TRecord name -> (
             match List.assoc_opt name structs with
             | Some fields ->
-                List.map (fun (f, _) -> Ir.Field (Ir.Var p, f)) fields
+                List.map (fun (f, _) -> H.field (H.var p) f) fields
             | None -> [])
         | _ -> [])
       (params @ scalars)
@@ -178,21 +189,22 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
   let const_exprs =
     List.filter_map
       (function
-        | Value.Int n -> Some (Ir.CInt n)
-        | Value.Float f -> Some (Ir.CFloat f)
-        | Value.Str s -> Some (Ir.CStr s)
-        | Value.Bool b -> Some (Ir.CBool b)
+        | Value.Int n -> Some (H.cint n)
+        | Value.Float f -> Some (H.cfloat f)
+        | Value.Str s -> Some (H.cstr s)
+        | Value.Bool b -> Some (H.cbool b)
         | _ -> None)
       frag.constants
   in
   let terminals =
-    List.map (fun (p, _) -> Ir.Var p) (params @ scalars)
+    List.map (fun (p, _) -> H.var p) (params @ scalars)
     @ field_accesses @ const_exprs
-    @ [ Ir.CInt 0; Ir.CInt 1; Ir.CFloat 1.0 ]
+    @ [ H.cint 0; H.cint 1; H.cfloat 1.0 ]
     @ harvested
   in
   let harvested_tbl = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace harvested_tbl e ()) harvested;
+  let cprobes = List.map Memo.wrap probes in
   let dummy =
     {
       params;
@@ -202,6 +214,7 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
       bools = [];
       strings = [];
       probes;
+      cprobes;
       ops = frag.operators;
       structs;
       harvested = harvested_tbl;
@@ -233,7 +246,7 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
           (fun a ->
             List.filter_map
               (fun b ->
-                let e = Ir.Binop (op, a, b) in
+                let e = H.binop op a b in
                 if non_const e then Some e else None)
               (cap 10 pool))
           (cap 10 pool))
@@ -241,9 +254,9 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
   in
   let keep e = Hashtbl.mem harvested_tbl e in
   let size e = if keep e then 1 else Ir.expr_size e in
-  let ints = dedupe ~keep ~size probes (ints0 @ combine ints0) |> cap 40 in
+  let ints = dedupe_c ~keep ~size ~limit:40 cprobes (ints0 @ combine ints0) in
   let floats =
-    dedupe ~keep ~size probes
+    dedupe_c ~keep ~size ~limit:48 cprobes
       (floats0 @ combine floats0
       @ (* cross int→float promotion for mixed arithmetic *)
       List.concat_map
@@ -252,12 +265,11 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
             (fun a ->
               List.filter_map
                 (fun b ->
-                  let e = Ir.Binop (op, a, b) in
+                  let e = H.binop op a b in
                   if non_const e then Some e else None)
                 (cap 8 ints0))
             (cap 8 floats0))
         arith_ops)
-    |> cap 48
   in
   (* guards: harvested booleans first, then comparisons *)
   let cmp_ops = List.filter is_cmp frag.operators in
@@ -268,18 +280,17 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
           (fun a ->
             List.filter_map
               (fun b ->
-                let e = Ir.Binop (op, a, b) in
+                let e = H.binop op a b in
                 if non_const e then Some e else None)
               (cap 8 pool))
           (cap 8 pool))
       cmp_ops
   in
   let bools =
-    dedupe ~keep ~size probes
+    dedupe_c ~keep ~size ~limit:32 cprobes
       (bools0 @ cmps ints0 @ cmps floats0 @ cmps strings0)
-    |> cap 32
   in
-  let strings = dedupe ~keep ~size probes strings0 |> cap 16 in
+  let strings = dedupe_c ~keep ~size ~limit:16 cprobes strings0 in
   {
     params;
     scalars;
@@ -288,6 +299,7 @@ let build (prog : Minijava.Ast.program) (frag : F.t) (probes : probe) : pools
     bools;
     strings;
     probes;
+    cprobes;
     ops = frag.operators;
     structs;
     harvested = harvested_tbl;

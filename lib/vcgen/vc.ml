@@ -149,6 +149,20 @@ type check_result =
   | Ir_error of string  (** the summary itself is not evaluable *)
   | State_skipped of string  (** the sequential code faulted on this state *)
 
+(* first output whose sequential value disagrees with the IR denotation *)
+let output_mismatch (frag : F.t) (seq_env : env) (mr_out : Eval.env) :
+    (string * Value.t * Value.t) option =
+  List.find_map
+    (fun (v, _, kind) ->
+      let expected = canon_output kind (List.assoc v seq_env) in
+      match List.assoc_opt v mr_out with
+      | None -> Some (v, expected, Value.Str "<missing>")
+      | Some got ->
+          let got = canon_output kind got in
+          if Value.equal_approx expected got then None
+          else Some (v, expected, got))
+    frag.outputs
+
 (** Check all three VC clauses of the candidate summary on one entry
     state: compare sequential execution against the IR denotation on
     every prefix of the data (prefix 0 = initiation, successive prefixes
@@ -175,25 +189,110 @@ let check_state (prog : program) (frag : F.t) (summary : Ir.summary)
               with
               | exception Eval.Eval_error m -> Ir_error m
               | exception Value.Type_error m -> Ir_error m
-              | mr_out ->
-                  let bad =
-                    List.find_map
-                      (fun (v, _, kind) ->
-                        let expected =
-                          canon_output kind (List.assoc v seq_env)
-                        in
-                        match List.assoc_opt v mr_out with
-                        | None -> Some (v, expected, Value.Str "<missing>")
-                        | Some got ->
-                            let got = canon_output kind got in
-                            if Value.equal_approx expected got then None
-                            else Some (v, expected, got))
-                      frag.outputs
-                  in
-                  (match bad with
+              | mr_out -> (
+                  match output_mismatch frag seq_env mr_out with
                   | Some (var, expected, got) ->
                       Fails { prefix = k; var; expected; got }
                   | None -> go (k + 1)))
+      in
+      try go 0 with Vc_error m -> Ir_error m)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared states: the candidate-independent work of [check_state].
+
+   [run_prefix] and [datasets_at] depend only on the entry state and the
+   prefix length, never on the candidate — yet [check_state] recomputes
+   both for every prefix of every state for every candidate, which
+   dominates synthesis time. A prepared state computes each prefix once,
+   lazily, and [check_prepared] replays [check_state]'s exact semantics
+   against the cached cells: laziness preserves exception behaviour (a
+   prefix whose sequential execution faults, or whose truncation raises
+   [Vc_error], only surfaces if a candidate survives all earlier
+   prefixes), and raised exceptions are stored and re-raised so repeated
+   checks observe the same outcome. *)
+
+type prefix_cell =
+  | PReady of env * (string * Value.t list) list
+      (** sequential env after the prefix, and the truncated datasets *)
+  | PSeq_fault  (** the sequential code faulted on this prefix *)
+  | PRaise of exn  (** any other exception, re-raised at the same point *)
+
+type prepared_state = {
+  p_entry : env;
+  p_cenv : Casper_ir.Memo.cenv;
+      (** [p_entry] wrapped once, keying the memoized emit evaluations *)
+  p_shapes : (string * Eval.out_shape) list;
+  p_outer : (int, exn) result Lazy.t;
+  p_cells : prefix_cell Lazy.t array Lazy.t;
+      (** one cell per prefix 0..n when [p_outer] is [Ok n] *)
+}
+
+let fp_counters = Casper_ir.Fastpath.counters
+
+let prepare_state (prog : program) (frag : F.t) (entry : env) :
+    prepared_state =
+  let outer =
+    lazy
+      (match outer_count prog frag entry with
+      | n -> Ok n
+      | exception e -> Error e)
+  in
+  let cells =
+    lazy
+      (match Lazy.force outer with
+      | Error _ -> [||]
+      | Ok n ->
+          Array.init (n + 1) (fun k ->
+              lazy
+                (fp_counters.prefix_forced <-
+                   fp_counters.prefix_forced + 1;
+                 match run_prefix prog frag entry k with
+                 | exception Minijava.Interp.Runtime_error _ -> PSeq_fault
+                 | exception e -> PRaise e
+                 | seq_env -> (
+                     match datasets_at prog frag entry k with
+                     | datasets -> PReady (seq_env, datasets)
+                     | exception e -> PRaise e))))
+  in
+  {
+    p_entry = entry;
+    p_cenv = Casper_ir.Memo.wrap entry;
+    p_shapes = shapes_of frag;
+    p_outer = outer;
+    p_cells = cells;
+  }
+
+(** [check_state], against a prepared state. Identical outcomes: both
+    walk prefixes 0..n in order and stop at the first failure, so a
+    cached cell is only ever consulted at the same point the plain check
+    would have computed it. *)
+let check_prepared (frag : F.t) (summary : Ir.summary)
+    (ps : prepared_state) : check_result =
+  match Lazy.force ps.p_outer with
+  | Error e -> State_skipped (Printexc.to_string e)
+  | Ok n -> (
+      let cells = Lazy.force ps.p_cells in
+      let rec go k =
+        if k > n then Holds
+        else (
+          if Lazy.is_val cells.(k) then
+            fp_counters.prefix_reused <- fp_counters.prefix_reused + 1;
+          match Lazy.force cells.(k) with
+          | PSeq_fault ->
+              State_skipped (Fmt.str "sequential fault at prefix %d" k)
+          | PRaise e -> raise e
+          | PReady (seq_env, datasets) -> (
+              match
+                Casper_ir.Memo.apply_summary ps.p_cenv datasets ps.p_entry
+                  ps.p_shapes summary
+              with
+              | exception Eval.Eval_error m -> Ir_error m
+              | exception Value.Type_error m -> Ir_error m
+              | mr_out -> (
+                  match output_mismatch frag seq_env mr_out with
+                  | Some (var, expected, got) ->
+                      Fails { prefix = k; var; expected; got }
+                  | None -> go (k + 1))))
       in
       try go 0 with Vc_error m -> Ir_error m)
 

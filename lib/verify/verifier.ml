@@ -62,6 +62,60 @@ let holds_on (prog : program) (frag : F.t) (summary : Ir.summary)
   match check_batch prog frag summary states with Valid -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Prepared batches: [check_batch] re-derives the entry state and every
+   sequential prefix from the raw parameter environment for each
+   candidate. A prepared state does that candidate-independent work once
+   (lazily — a state whose entry computation would fault only faults if
+   a candidate reaches it, exactly as in [check_batch]) and is shared
+   across the thousands of candidates of one synthesis run. *)
+
+type prepared = {
+  pr_params : Minijava.Interp.env;
+  pr_state : Vc.prepared_state option Lazy.t;
+      (** [None] when the entry statements fault on this state *)
+}
+
+let prepare_one (prog : program) (frag : F.t)
+    (params : Minijava.Interp.env) : prepared =
+  {
+    pr_params = params;
+    pr_state =
+      lazy
+        (match Vc.entry_of_params prog frag params with
+        | exception Minijava.Interp.Runtime_error _ -> None
+        | entry -> Some (Vc.prepare_state prog frag entry));
+  }
+
+let prepare_batch (prog : program) (frag : F.t)
+    (batch : Minijava.Interp.env list) : prepared list =
+  List.map (prepare_one prog frag) batch
+
+(** [check_batch] over prepared states: same walk, same early exit, same
+    outcomes. *)
+let check_prepared_batch (frag : F.t) (summary : Ir.summary)
+    (batch : prepared list) : outcome =
+  let rec go = function
+    | [] -> Valid
+    | p :: rest -> (
+        match Lazy.force p.pr_state with
+        | None -> go rest
+        | Some ps -> (
+            match Vc.check_prepared frag summary ps with
+            | Vc.Holds | Vc.State_skipped _ -> go rest
+            | Vc.Fails _ -> Counterexample p.pr_params
+            | Vc.Ir_error m -> Invalid_summary m))
+  in
+  go batch
+
+(** Does the candidate hold on one prepared state? The per-state
+    conjunct of [holds_on]. *)
+let check_prepared_one (frag : F.t) (summary : Ir.summary) (p : prepared) :
+    bool =
+  match check_prepared_batch frag summary [ p ] with
+  | Valid -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
 (* Algebraic properties of reducers (§5.1's ϵ, §6.3's reduceByKey vs
    groupByKey decision).                                               *)
 

@@ -59,6 +59,23 @@ val holds_on :
   Minijava.Interp.env list ->
   bool
 
+(** A parameter environment with its candidate-independent verification
+    work (entry state, sequential prefixes, truncated datasets) computed
+    lazily, once, and shared across candidates. Checking a candidate
+    against prepared states yields exactly the outcomes of the plain
+    [check_batch]/[bounded_check]/[full_verify] on the same states. *)
+type prepared
+
+val prepare_one : Minijava.Ast.program -> F.t -> Minijava.Interp.env -> prepared
+val prepare_batch :
+  Minijava.Ast.program -> F.t -> Minijava.Interp.env list -> prepared list
+
+(** [check_batch] over prepared states. *)
+val check_prepared_batch : F.t -> Ir.summary -> prepared list -> outcome
+
+(** Single-state conjunct of [holds_on]. *)
+val check_prepared_one : F.t -> Ir.summary -> prepared -> bool
+
 (** Random values of an IR type, for property checks. *)
 val sample_values :
   Casper_common.Rng.t -> Ir.ty -> n:int -> Value.t list
