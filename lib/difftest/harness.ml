@@ -1,0 +1,128 @@
+(** Fuzz campaigns and corpus replay.
+
+    A campaign is fully determined by its seed: program [i] of campaign
+    [seed] is always the same program, so any failure can be replayed
+    from the (seed, index) pair alone — and is also reported as
+    compilable source, minimized when requested.
+
+    The regression corpus ([test/corpus/*.mj]) is plain MiniJava source,
+    one program per file; {!replay_corpus} pushes every file through the
+    oracle, which is how past reproducers stay fixed in tier-1. *)
+
+module Rng = Casper_common.Rng
+
+type failure = {
+  index : int;  (** campaign index: replay with the same seed *)
+  shape : string;
+  divergence : Oracle.divergence;
+  minimized : string option;  (** minimized source, when requested *)
+}
+
+type report = {
+  total : int;
+  translated : int;
+  skipped : int;
+  skip_reasons : (string * int) list;  (** reason → count *)
+  failures : failure list;
+}
+
+let bump assoc key =
+  match List.assoc_opt key assoc with
+  | Some n -> (key, n + 1) :: List.remove_assoc key assoc
+  | None -> (key, 1) :: assoc
+
+let still_fails cfg ~name p =
+  match Oracle.check_parsed cfg ~name p with
+  | Oracle.Diverged _ -> true
+  | Oracle.Translated _ | Oracle.Skipped _ -> false
+
+(** Run [count] generated programs through the oracle. *)
+let run_campaign ?(log = ignore) ?config ?(shrink_budget = 150)
+    ~(seed : int) ~(count : int) ~(minimize : bool) () : report =
+  let cfg =
+    match config with Some c -> c | None -> Oracle.default_config ~seed ()
+  in
+  let rng = Rng.create seed in
+  let translated = ref 0 in
+  let skipped = ref 0 in
+  let skip_reasons = ref [] in
+  let failures = ref [] in
+  for index = 0 to count - 1 do
+    let g = Gen.program rng in
+    let name = Fmt.str "%s-%d" g.Gen.shape index in
+    (match Oracle.check_parsed cfg ~name g.Gen.prog with
+    | Oracle.Translated _ -> incr translated
+    | Oracle.Skipped reason ->
+        incr skipped;
+        skip_reasons := bump !skip_reasons reason
+    | Oracle.Diverged d ->
+        log (Fmt.str "[%d] DIVERGENCE (%s) at stage %s" index g.Gen.shape
+               d.Oracle.stage);
+        let minimized =
+          if minimize then begin
+            let small =
+              Shrink.minimize ~budget:shrink_budget
+                ~still_fails:(still_fails cfg ~name)
+                (Minijava.Parser.parse_program d.Oracle.source)
+            in
+            Some (Minijava.Pp.program_to_string small)
+          end
+          else None
+        in
+        failures :=
+          { index; shape = g.Gen.shape; divergence = d; minimized }
+          :: !failures);
+    if (index + 1) mod 25 = 0 then
+      log
+        (Fmt.str "%d/%d checked (%d translated, %d skipped, %d divergent)"
+           (index + 1) count !translated !skipped (List.length !failures))
+  done;
+  {
+    total = count;
+    translated = !translated;
+    skipped = !skipped;
+    skip_reasons = List.rev !skip_reasons;
+    failures = List.rev !failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay                                                       *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** All [*.mj] files under [dir], sorted, each run through the oracle. *)
+let replay_corpus ?config ~(dir : string) () :
+    (string * Oracle.verdict) list =
+  let cfg =
+    match config with Some c -> c | None -> Oracle.default_config ()
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mj")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         let src = read_file (Filename.concat dir f) in
+         (f, Oracle.check_source cfg ~name:(Filename.chop_extension f) src))
+
+(* ------------------------------------------------------------------ *)
+(* Reproducer files                                                    *)
+
+(** Write a failure's (minimized, when present) source to
+    [dir/repro-<index>.mj]; returns the path. *)
+let write_repro ~(dir : string) (fl : failure) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Fmt.str "repro-%d.mj" fl.index) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Fmt.str "// shape: %s  stage: %s\n// %s\n%s" fl.shape
+           fl.divergence.Oracle.stage fl.divergence.Oracle.detail
+           (match fl.minimized with
+           | Some s -> s
+           | None -> fl.divergence.Oracle.source)));
+  path

@@ -1,0 +1,301 @@
+(** The differential pipeline oracle.
+
+    One generated program is pushed through the full stack — printer →
+    parser → typechecker → fragment analysis → CEGIS synthesis (with the
+    fast path both off and on) → verification on fresh states →
+    compilation → the simulated engine on every backend — and the result
+    multisets are compared at every stage boundary against the
+    {!Minijava.Interp} reference execution. The matrix is then crossed
+    with seeded {!Sched} fault-injection schedules: injected faults must
+    never change outputs (the engine recomputes, it does not drop data)
+    and the schedule itself must be deterministic.
+
+    Verdicts are three-valued: [Translated] (every check passed),
+    [Skipped] (the pipeline *declined* the program — unsupported
+    fragment, exhausted search budget, or an input state on which the
+    sequential reference itself faults), and [Diverged] (two stages
+    disagree, or a stage crashed — always a bug worth a reproducer).
+    Skips are not failures: the fuzzer checks translation soundness, not
+    completeness. *)
+
+module An = Casper_analysis.Analyze
+module F = Casper_analysis.Fragment
+module Cegis = Casper_synth.Cegis
+module Verifier = Casper_verify.Verifier
+module Statesgen = Casper_verify.Statesgen
+module Vc = Casper_vcgen.Vc
+module Compile = Casper_codegen.Compile
+module Runner = Casper_codegen.Runner
+module Engine = Mapreduce.Engine
+module Cluster = Mapreduce.Cluster
+module Fastpath = Casper_ir.Fastpath
+module Value = Casper_common.Value
+open Minijava
+
+type config = {
+  backends : Cluster.t list;
+  fault_profiles : Sched.Faults.profile list;
+      (** each profile is run on every backend; outputs must be
+          unchanged and the schedule deterministic *)
+  inputs : int;  (** fresh program states checked per program *)
+  input_seed : int;
+  synth : Cegis.config;
+  check_fastpath : bool;
+      (** run synthesis twice (fast path off / on) and require
+          bit-identical search statistics and solutions *)
+}
+
+let default_config ?(seed = 0) () =
+  {
+    backends = [ Cluster.spark; Cluster.hadoop; Cluster.flink ];
+    fault_profiles =
+      [
+        Sched.Faults.failures ~seed:(seed + 1) 0.25;
+        Sched.Faults.stragglers ~seed:(seed + 2) ~fraction:0.3 ~slowdown:4.0
+          ();
+      ];
+    inputs = 5;
+    input_seed = seed;
+    synth = { Cegis.default_config with Cegis.max_candidates = 60_000 };
+    check_fastpath = true;
+  }
+
+type divergence = {
+  stage : string;  (** which boundary disagreed (or crashed) *)
+  detail : string;
+  source : string;  (** compilable MiniJava source of the program *)
+}
+
+type verdict =
+  | Translated of string  (** fragment id that went through cleanly *)
+  | Skipped of string
+  | Diverged of divergence
+
+let pp_divergence ppf (d : divergence) =
+  Fmt.pf ppf "stage %s: %s@.--- source ---@.%s" d.stage d.detail d.source
+
+exception Div of divergence
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let render_env (env : Interp.env) : string =
+  String.concat "; "
+    (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) env)
+
+let render_outputs (outs : (string * Value.t) list) : string =
+  render_env outs
+
+let solutions_equal (a : Cegis.solution list) (b : Cegis.solution list) : bool
+    =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Cegis.solution) (y : Cegis.solution) ->
+         x.Cegis.summary = y.Cegis.summary
+         && x.klass = y.klass
+         && x.comm_assoc = y.comm_assoc
+         && Float.equal x.static_cost y.static_cost)
+       a b
+
+let stats_equal (a : Cegis.stats) (b : Cegis.stats) : bool =
+  a.Cegis.candidates_tried = b.Cegis.candidates_tried
+  && a.cegis_iterations = b.cegis_iterations
+  && a.tp_failures = b.tp_failures
+  && a.classes_explored = b.classes_explored
+  && a.timed_out = b.timed_out
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+
+(** Check one parsed program. [name] labels the fragment in reports. *)
+let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
+    verdict =
+  let src = Pp.program_to_string prog in
+  let fail stage fmt =
+    Fmt.kstr (fun detail -> raise (Div { stage; detail; source = src })) fmt
+  in
+  try
+    (* ---- printer/parser boundary: printing must be a parse fixed
+       point, so every reproducer we report really is the program the
+       pipeline saw ---- *)
+    let prog =
+      try Parser.parse_program src
+      with Parser.Parse_error m | Lexer.Lex_error m ->
+        fail "printer" "printed program does not re-parse: %s" m
+    in
+    let src2 = Pp.program_to_string prog in
+    if not (String.equal src src2) then
+      fail "printer" "print . parse . print is not a fixed point:\n%s" src2;
+    (try Typecheck.check_program prog
+     with Typecheck.Type_error m -> fail "typecheck" "%s" m);
+
+    (* ---- fragment analysis ---- *)
+    let frags =
+      An.fragments_of_program prog ~suite:"difftest" ~benchmark:name
+    in
+    match List.filter (fun f -> f.F.unsupported = None) frags with
+    | [] ->
+        Skipped
+          (match frags with
+          | [] -> "no fragment detected"
+          | f :: _ -> (
+              match f.F.unsupported with
+              | Some u -> F.unsupported_to_string u
+              | None -> "unsupported"))
+    | frag :: _ -> (
+        (* ---- synthesis, fast path off vs on ---- *)
+        let synth () = Cegis.find_summary ~config:cfg.synth prog frag in
+        let outcome =
+          if cfg.check_fastpath then begin
+            let off = Fastpath.with_enabled false synth in
+            let on = Fastpath.with_enabled true synth in
+            if not (stats_equal off.Cegis.stats on.Cegis.stats) then
+              fail "fastpath"
+                "search stats differ with the fast path on vs off \
+                 (tried %d vs %d, iterations %d vs %d)"
+                off.Cegis.stats.Cegis.candidates_tried
+                on.Cegis.stats.Cegis.candidates_tried
+                off.Cegis.stats.Cegis.cegis_iterations
+                on.Cegis.stats.Cegis.cegis_iterations;
+            if not (solutions_equal off.Cegis.solutions on.Cegis.solutions)
+            then fail "fastpath" "solutions differ with the fast path on vs off";
+            on
+          end
+          else synth ()
+        in
+        match outcome.Cegis.solutions with
+        | [] ->
+            Skipped
+              (if outcome.Cegis.stats.Cegis.timed_out then
+                 "synthesis budget exhausted"
+               else "no verifiable summary in the grammar")
+        | best :: _ ->
+            let summary = best.Cegis.summary in
+
+            (* ---- verification boundary, on states the search never
+               saw ---- *)
+            let envs =
+              Statesgen.gen_batch ~seed:cfg.input_seed ~count:cfg.inputs
+                (Statesgen.bounded_domain frag) prog frag
+            in
+            (match Verifier.check_batch prog frag summary envs with
+            | Verifier.Valid -> ()
+            | Verifier.Counterexample env ->
+                fail "verify" "verified summary refuted on fresh state: %s"
+                  (render_env env)
+            | Verifier.Invalid_summary m ->
+                fail "verify" "verified summary not evaluable: %s" m);
+
+            (* ---- execution boundaries, per state ---- *)
+            List.iteri
+              (fun ei env ->
+                let prepared =
+                  (* a state the sequential original faults on (runtime
+                     error, step budget) checks nothing — skip it, as
+                     the verifier does *)
+                  try
+                    let entry = Vc.entry_of_params prog frag env in
+                    let seq, _ =
+                      Runner.run_sequential ~scale:1.0 prog frag entry
+                    in
+                    Some (entry, seq)
+                  with Interp.Runtime_error _ -> None
+                in
+                match prepared with
+                | None -> ()
+                | Some (entry, seq) ->
+                    (* every backend against the reference, and against
+                       each other *)
+                    let per_backend =
+                      List.map
+                        (fun (cluster : Cluster.t) ->
+                          let r =
+                            Runner.run_summary ~cluster ~scale:1.0 prog frag
+                              entry summary
+                          in
+                          if
+                            not
+                              (Runner.outputs_agree frag seq r.Runner.outputs)
+                          then
+                            fail
+                              ("backend:" ^ cluster.Cluster.name)
+                              "state %d: sequential {%s} vs translated {%s}"
+                              ei (render_outputs seq)
+                              (render_outputs r.Runner.outputs);
+                          (cluster.Cluster.name, r.Runner.outputs))
+                        cfg.backends
+                    in
+                    (match per_backend with
+                    | (n0, o0) :: rest ->
+                        List.iter
+                          (fun (n, o) ->
+                            if not (Runner.outputs_agree frag o0 o) then
+                              fail "cross-backend"
+                                "state %d: %s {%s} vs %s {%s}" ei n0
+                                (render_outputs o0) n (render_outputs o))
+                          rest
+                    | [] -> ());
+
+                    (* fault schedules: outputs unchanged, schedule
+                       deterministic, completion finite *)
+                    let t = Compile.compile prog frag entry summary in
+                    let datasets = Runner.datasets_of prog frag entry in
+                    List.iter
+                      (fun profile ->
+                        let sched =
+                          Sched.Coordinator.config ~faults:profile ()
+                        in
+                        List.iter
+                          (fun (cluster : Cluster.t) ->
+                            let tag =
+                              Fmt.str "faults:%s" cluster.Cluster.name
+                            in
+                            let run =
+                              Engine.run_plan ~sched ~cluster ~datasets
+                                t.Compile.plan
+                            in
+                            let outs =
+                              t.Compile.read_outputs
+                                run.Mapreduce.Engine.output
+                            in
+                            if not (Runner.outputs_agree frag seq outs) then
+                              fail tag
+                                "state %d: fault injection changed outputs: \
+                                 {%s} vs {%s}"
+                                ei (render_outputs seq) (render_outputs outs);
+                            let o1 = Engine.schedule ~cluster ~scale:1.0 run in
+                            let o2 = Engine.schedule ~cluster ~scale:1.0 run in
+                            if not (Float.is_finite o1.Sched.Coordinator.completion_s)
+                            then
+                              fail tag "state %d: schedule did not complete" ei;
+                            if
+                              not
+                                (Float.equal o1.Sched.Coordinator.completion_s
+                                   o2.Sched.Coordinator.completion_s
+                                && Sched.Trace.events o1.Sched.Coordinator.trace
+                                   = Sched.Trace.events
+                                       o2.Sched.Coordinator.trace)
+                            then
+                              fail tag
+                                "state %d: same seed and fault schedule gave \
+                                 different schedules"
+                                ei)
+                          cfg.backends)
+                      cfg.fault_profiles)
+              envs;
+            Translated frag.F.frag_id)
+  with
+  | Div d -> Diverged d
+  | Vc.Vc_error m -> Diverged { stage = "vcgen"; detail = m; source = src }
+  | Compile.Codegen_error m ->
+      Diverged { stage = "codegen"; detail = m; source = src }
+  | Engine.Engine_error m ->
+      Diverged { stage = "engine"; detail = m; source = src }
+
+(** Check source text (corpus replay): parse errors are printer-stage
+    divergences, everything else as {!check_parsed}. *)
+let check_source (cfg : config) ~(name : string) (src : string) : verdict =
+  match Parser.parse_program src with
+  | prog -> check_parsed cfg ~name prog
+  | exception (Parser.Parse_error m | Lexer.Lex_error m) ->
+      Diverged { stage = "parse"; detail = m; source = src }

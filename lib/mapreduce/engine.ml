@@ -69,6 +69,8 @@ let fnv1a32 (s : string) : int =
    records round-robin. *)
 let partition ?(by_key = false) (workers : int) (l : Value.t list) :
     Value.t list array =
+  if workers <= 0 then
+    err "cannot partition a shuffle across %d workers" workers;
   let parts = Array.make workers [] in
   List.iteri
     (fun i v ->
@@ -86,12 +88,31 @@ let group_fold f records =
   Multiset.group_by_key (List.map as_kv records)
   |> List.map (fun (k, vs) ->
          match vs with
-         | [] -> assert false
+         | [] -> err "shuffle produced an empty partition group"
          | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
 
-(** Execute one plan over named datasets. *)
+(** Execute one plan over named datasets.
+
+    Raises {!Engine_error} when [datasets] binds the same name twice
+    (the plan's reads would silently resolve to whichever binding comes
+    first) and when a shuffle stage runs on a cluster with no worker
+    slots to partition across. *)
 let rec run_plan ?sched ~(cluster : Cluster.t)
     ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+  let rec check_dup = function
+    | [] -> ()
+    | (name, _) :: rest ->
+        if List.mem_assoc name rest then
+          err "duplicate dataset name %s" name
+        else check_dup rest
+  in
+  check_dup datasets;
+  (* a shuffle with no partitions to land records in cannot execute *)
+  let check_workers () =
+    if cluster.Cluster.workers <= 0 then
+      err "cannot shuffle on a cluster with %d workers"
+        cluster.Cluster.workers
+  in
   let input =
     match List.assoc_opt plan.Plan.source datasets with
     | Some l -> l
@@ -127,6 +148,7 @@ let rec run_plan ?sched ~(cluster : Cluster.t)
                Value.Tuple [ k; f v ])
              current)
     | Plan.Reduce_by_key { f; comm_assoc; _ } ->
+        check_workers ();
         let out = group_fold f current in
         if comm_assoc && cluster.Cluster.combiner then
           (* combine within each partition, ship the combined records;
@@ -142,12 +164,14 @@ let rec run_plan ?sched ~(cluster : Cluster.t)
           mk ~shuffled ~is_shuffle:true ~cap out
         else mk ~shuffled:bytes_in ~is_shuffle:true out
     | Plan.Group_by_key _ ->
+        check_workers ();
         let grouped =
           Multiset.group_by_key (List.map as_kv current)
           |> List.map (fun (k, vs) -> Value.Tuple [ k; Value.List vs ])
         in
         mk ~shuffled:bytes_in ~is_shuffle:true grouped
     | Plan.Global_reduce { f; comm_assoc; _ } -> (
+        check_workers ();
         match current with
         | [] -> mk ~shuffled:0 ~is_shuffle:true []
         | v0 :: rest ->
@@ -168,6 +192,7 @@ let rec run_plan ?sched ~(cluster : Cluster.t)
               mk ~shuffled ~is_shuffle:true ~cap [ result ]
             else mk ~shuffled:bytes_in ~is_shuffle:true [ result ])
     | Plan.Join_with { right; _ } ->
+        check_workers ();
         let right_run = run_plan ~cluster ~datasets right in
         nested_metrics := !nested_metrics @ right_run.stages;
         let tbl = Hashtbl.create 256 in

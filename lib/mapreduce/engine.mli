@@ -40,7 +40,8 @@ type run = {
 (** Execute a plan over named in-memory datasets. Pass [?sched] to
     charge wall-clock from a task-level schedule (with fault injection
     and speculative execution) instead of the closed-form estimate.
-    @raise Engine_error on unknown datasets or shape errors. *)
+    @raise Engine_error on unknown or duplicate dataset names, shape
+    errors, and shuffles on a cluster with no worker slots. *)
 val run_plan :
   ?sched:Sched.Coordinator.config ->
   cluster:Cluster.t ->

@@ -1,0 +1,148 @@
+(** Tests for the differential fuzzing subsystem: printer round-trips
+    over every suite source and over generated programs, a smoke fuzz
+    campaign that must come back divergence-free, replay of the
+    committed regression corpus, and the shrinker's contract. *)
+
+module Parser = Minijava.Parser
+module Pp = Minijava.Pp
+module Typecheck = Minijava.Typecheck
+module Gen = Difftest.Gen
+module Oracle = Difftest.Oracle
+module Harness = Difftest.Harness
+module Shrink = Difftest.Shrink
+module Rng = Casper_common.Rng
+module Suite = Casper_suites.Suite
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------------- printer round-trips ---------------- *)
+
+(* The printer cannot promise print(parse src) = src for hand-written
+   sources (comments, layout, redundant parens), but printed output must
+   be a fixpoint: parsing it and printing again changes nothing. *)
+let roundtrip_fixpoint ~what (src : string) =
+  let p = Parser.parse_program src in
+  let once = Pp.program_to_string p in
+  let twice = Pp.program_to_string (Parser.parse_program once) in
+  check_str (what ^ ": printed source is a parse/print fixpoint") once twice;
+  Typecheck.check_program (Parser.parse_program once)
+
+let test_roundtrip_suites () =
+  List.iter
+    (fun (suite_name, benches) ->
+      List.iter
+        (fun (b : Suite.benchmark) ->
+          roundtrip_fixpoint ~what:(suite_name ^ "/" ^ b.Suite.name) b.Suite.source)
+        benches)
+    Casper_suites.Registry.suites
+
+let test_roundtrip_generated () =
+  let rng = Rng.create 11 in
+  for i = 0 to 149 do
+    let g = Gen.program rng in
+    let what = Fmt.str "%s-%d" g.Gen.shape i in
+    roundtrip_fixpoint ~what (Pp.program_to_string g.Gen.prog)
+  done
+
+(* ---------------- smoke fuzz campaign ---------------- *)
+
+(* A small fixed-seed campaign runs the full differential pipeline —
+   both fastpath modes, every backend, every fault profile — and must
+   find no divergence. The scheduled CI job runs the big sibling. *)
+let test_smoke_campaign () =
+  let report = Harness.run_campaign ~seed:7 ~count:25 ~minimize:false () in
+  check_int "all programs accounted for" 25
+    (report.Harness.translated + report.Harness.skipped
+    + List.length report.Harness.failures);
+  List.iter
+    (fun (fl : Harness.failure) ->
+      Alcotest.failf "divergence on %s-%d: %a" fl.Harness.shape
+        fl.Harness.index Oracle.pp_divergence fl.Harness.divergence)
+    report.Harness.failures;
+  check "most generated programs translate" true
+    (report.Harness.translated >= 15)
+
+(* ---------------- regression corpus ---------------- *)
+
+let test_corpus_replay () =
+  let verdicts = Harness.replay_corpus ~dir:"corpus" () in
+  check "corpus is non-trivial" true (List.length verdicts >= 10);
+  let translated =
+    List.filter
+      (fun (_, v) -> match v with Oracle.Translated _ -> true | _ -> false)
+      verdicts
+  in
+  List.iter
+    (fun (file, verdict) ->
+      match verdict with
+      | Oracle.Translated _ | Oracle.Skipped _ -> ()
+      | Oracle.Diverged d ->
+          Alcotest.failf "corpus %s diverged: %a" file Oracle.pp_divergence d)
+    verdicts;
+  check "at least ten corpus programs translate end to end" true
+    (List.length translated >= 10)
+
+(* ---------------- shrinker ---------------- *)
+
+let shrinker_source =
+  "int f(List<Integer> xs) {\n  int s = 0;\n  int t = 0;\n  for (int x : \
+   xs) {\n    s = s + x;\n    t = t + 1;\n  }\n  return s;\n}\n"
+
+let test_shrinker_minimizes () =
+  let prog = Parser.parse_program shrinker_source in
+  (* a syntactic stand-in for "still fails": the accumulation we care
+     about must survive; everything else is fair game *)
+  let keeps_accumulation p =
+    let src = Pp.program_to_string p in
+    let needle = "s = s + x" in
+    let n = String.length needle in
+    let rec contains i =
+      i + n <= String.length src && (String.sub src i n = needle || contains (i + 1))
+    in
+    contains 0
+  in
+  let small = Shrink.minimize ~still_fails:keeps_accumulation prog in
+  check "minimized program is well-formed" true (Shrink.well_formed small);
+  check "minimized program still satisfies the predicate" true
+    (keeps_accumulation small);
+  check "minimizer removed the unrelated accumulator" true
+    (String.length (Pp.program_to_string small)
+    < String.length (Pp.program_to_string prog))
+
+let test_shrinker_keeps_failing_input_well_formed () =
+  (* when nothing smaller satisfies the predicate, minimize must return
+     the input itself *)
+  let prog = Parser.parse_program "int f() {\n  return 0;\n}\n" in
+  let small = Shrink.minimize ~still_fails:(fun _ -> false) prog in
+  check_str "irreducible input is returned unchanged"
+    (Pp.program_to_string prog)
+    (Pp.program_to_string small)
+
+(* ---------------- suite ---------------- *)
+
+let suite =
+  [
+    ( "difftest.printer",
+      [
+        Alcotest.test_case "suite sources round-trip" `Quick
+          test_roundtrip_suites;
+        Alcotest.test_case "generated programs round-trip" `Quick
+          test_roundtrip_generated;
+      ] );
+    ( "difftest.oracle",
+      [
+        Alcotest.test_case "smoke campaign finds no divergence" `Slow
+          test_smoke_campaign;
+        Alcotest.test_case "regression corpus replays clean" `Slow
+          test_corpus_replay;
+      ] );
+    ( "difftest.shrink",
+      [
+        Alcotest.test_case "minimizes while preserving the failure" `Quick
+          test_shrinker_minimizes;
+        Alcotest.test_case "irreducible input unchanged" `Quick
+          test_shrinker_keeps_failing_input_well_formed;
+      ] );
+  ]

@@ -105,6 +105,21 @@ let test_unknown_dataset () =
   | exception Engine.Engine_error _ -> ()
   | _ -> Alcotest.fail "expected engine error"
 
+let test_duplicate_dataset () =
+  let p = Plan.(data "d") in
+  match run ~datasets:[ ("d", ints [ 1 ]); ("d", ints [ 2 ]) ] p with
+  | exception Engine.Engine_error _ -> ()
+  | _ -> Alcotest.fail "expected engine error on duplicate dataset name"
+
+let test_shuffle_without_workers () =
+  let p =
+    Plan.(data "d" |>> map_to_pair (fun x -> (x, x)) |>> reduce_by_key add_i)
+  in
+  let cluster = { Cluster.spark with Cluster.workers = 0 } in
+  match run ~cluster ~datasets:[ ("d", ints [ 1; 2; 3 ]) ] p with
+  | exception Engine.Engine_error _ -> ()
+  | _ -> Alcotest.fail "expected engine error on zero-worker shuffle"
+
 let test_shuffle_count () =
   let p =
     Plan.(
@@ -228,6 +243,9 @@ let suite =
         Alcotest.test_case "join" `Quick test_join;
         Alcotest.test_case "metrics" `Quick test_metrics_bytes;
         Alcotest.test_case "unknown dataset" `Quick test_unknown_dataset;
+        Alcotest.test_case "duplicate dataset" `Quick test_duplicate_dataset;
+        Alcotest.test_case "shuffle without workers" `Quick
+          test_shuffle_without_workers;
         Alcotest.test_case "shuffle count" `Quick test_shuffle_count;
       ] );
     ( "engine.partition",

@@ -98,6 +98,37 @@ let gen_expr : Ir.expr QCheck.Gen.t =
 let expr_arb =
   QCheck.make ~print:(Fmt.str "%a" Ir.pp_expr) gen_expr
 
+(* Ids must survive a save/clear/re-intern cycle without collisions:
+   [H.clear] empties the tables but never rewinds the counters, so a
+   stale id saved before the clear can never alias a fresh one, and
+   within each generation the id partition matches structural
+   equality. *)
+let test_ids_stable_across_clear () =
+  let rand = Random.State.make [| 0x5eed |] in
+  let exprs = QCheck.Gen.generate ~rand ~n:120 gen_expr in
+  H.clear ();
+  let ids1 = List.map H.expr_id exprs in
+  List.iter2
+    (fun e id -> check_int "ids are stable within a generation" id (H.expr_id e))
+    exprs ids1;
+  let check_partition ids =
+    List.iter2
+      (fun e1 id1 ->
+        List.iter2
+          (fun e2 id2 ->
+            check "ids partition exactly like structural equality" true
+              ((e1 = e2) = (id1 = id2)))
+          exprs ids)
+      exprs ids
+  in
+  check_partition ids1;
+  let max_before = List.fold_left max (-1) ids1 in
+  H.clear ();
+  let ids2 = List.map H.expr_id exprs in
+  check "post-clear ids never collide with saved ids" true
+    (List.for_all (fun id -> id > max_before) ids2);
+  check_partition ids2
+
 let memo_eval_matches_plain =
   QCheck.Test.make ~name:"memoized eval equals plain eval" ~count:500
     (QCheck.triple expr_arb QCheck.small_int QCheck.small_int)
@@ -224,6 +255,8 @@ let suite =
         Alcotest.test_case "summary interning" `Quick test_summary_ids;
         Alcotest.test_case "emit ids and construction keys" `Quick
           test_emit_and_construction_keys;
+        Alcotest.test_case "ids stable across clear" `Quick
+          test_ids_stable_across_clear;
       ] );
     qsuite "fastpath.eval.props" [ memo_eval_matches_plain ];
     ( "fastpath.dedup",

@@ -326,6 +326,36 @@ let case_arb =
         (match b with `Spark -> "spark" | `Hadoop -> "hadoop" | `Flink -> "flink"))
     gen_case
 
+(* Replaying the same plan with the same fault seed must reproduce the
+   run bit-for-bit: not just the completion time and event count, but
+   the full event trace and every per-stage metric. *)
+let prop_same_seed_identical_trace =
+  QCheck.Test.make ~count:40
+    ~name:"same seed and fault schedule give identical traces and metrics"
+    case_arb
+    (fun (segments, _label, profile, n, data_seed, backend) ->
+      let cluster =
+        match backend with
+        | `Spark -> Cluster.spark
+        | `Hadoop -> Cluster.hadoop
+        | `Flink -> Cluster.flink
+      in
+      let rng = Rng.create data_seed in
+      let datasets =
+        [ ("d", List.init n (fun _ -> Value.Int (Rng.int_range rng 0 99))) ]
+      in
+      let plan = List.fold_left Plan.( |>> ) (Plan.data "d") segments in
+      let sched = Coordinator.config ~faults:profile () in
+      let r1 = Engine.run_plan ~sched ~cluster ~datasets plan in
+      let r2 = Engine.run_plan ~sched ~cluster ~datasets plan in
+      let o1 = Engine.schedule ~cluster ~scale r1 in
+      let o2 = Engine.schedule ~cluster ~scale r2 in
+      r1.Engine.stages = r2.Engine.stages
+      && Multiset.equal_values r1.Engine.output r2.Engine.output
+      && Float.equal o1.Coordinator.completion_s o2.Coordinator.completion_s
+      && Sched.Trace.events o1.Coordinator.trace
+         = Sched.Trace.events o2.Coordinator.trace)
+
 let prop_faulty_schedule_preserves_output =
   QCheck.Test.make ~count:60
     ~name:"scheduled runs (faulty or not) preserve the engine output"
@@ -385,5 +415,6 @@ let suite =
           test_hadoop_degrades_worst;
         Alcotest.test_case "deterministic" `Quick test_schedule_deterministic;
       ] );
-    qsuite "sched.props" [ prop_faulty_schedule_preserves_output ];
+    qsuite "sched.props"
+      [ prop_faulty_schedule_preserves_output; prop_same_seed_identical_trace ];
   ]
