@@ -25,7 +25,14 @@ module T = Casper_common.Tablefmt
 module Stats = Casper_common.Stats
 module J = Casper_common.Jsonout
 module Fastpath = Casper_ir.Fastpath
+module Obs = Casper_obs.Obs
 open Util
+
+(* --trace: the run's observability context. Disabled (all no-ops)
+   unless --trace FILE is given; every section below threads it through
+   to the pipeline so the exported Chrome trace covers synthesis and
+   scheduling in one timeline. *)
+let bench_obs : Obs.ctx ref = ref Obs.null
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: feasibility + speedups per suite                            *)
@@ -986,8 +993,8 @@ let fault_tolerance () =
   let config =
     Sched.Coordinator.config ~faults:(Sched.Faults.failures ~seed 0.2) ()
   in
-  let o = Engine.schedule ~cluster:Cluster.spark ~scale ~config
-      (run_of Cluster.spark)
+  let o = Engine.schedule ~obs:!bench_obs ~cluster:Cluster.spark ~scale
+      ~config (run_of Cluster.spark)
   in
   Fmt.pr
     "@.Spark at 20%% failed workers — %d attempts, %d failures, %d \
@@ -1017,22 +1024,24 @@ type synth_run = {
     workload), fresh — no translation cache — and report per-suite wall
     time and search volume. *)
 let synth_measure () : synth_run list =
+  let obs = !bench_obs in
   List.map
     (fun (suite_name, benches) ->
-      let t0 = Unix.gettimeofday () in
+      Obs.span obs ~args:[ ("suite", suite_name) ] "suite" @@ fun () ->
+      let t0 = Obs.wall_clock () in
       let cand = ref 0 and iters = ref 0 and nfrags = ref 0 in
       List.iter
         (fun (b : Casper_suites.Suite.benchmark) ->
           let prog = Minijava.Parser.parse_program b.source in
           let frags =
-            Casper_analysis.Analyze.fragments_of_program prog ~suite:b.suite
-              ~benchmark:b.name
+            Casper_analysis.Analyze.fragments_of_program ~obs prog
+              ~suite:b.suite ~benchmark:b.name
           in
           List.iter
             (fun (f : F.t) ->
               if f.F.unsupported = None then begin
                 incr nfrags;
-                let o = Cegis.find_summary ~config:bench_config prog f in
+                let o = Cegis.find_summary ~obs ~config:bench_config prog f in
                 cand := !cand + o.Cegis.stats.Cegis.candidates_tried;
                 iters := !iters + o.Cegis.stats.Cegis.cegis_iterations
               end)
@@ -1040,7 +1049,7 @@ let synth_measure () : synth_run list =
         benches;
       {
         sp_suite = suite_name;
-        sp_wall = Unix.gettimeofday () -. t0;
+        sp_wall = Obs.wall_clock () -. t0;
         sp_frags = !nfrags;
         sp_cand = !cand;
         sp_iters = !iters;
@@ -1267,21 +1276,33 @@ let () =
     in
     find argv
   in
+  let trace_path =
+    let rec find = function
+      | "--trace" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  if trace_path <> None then bench_obs := Obs.create ();
+  let obs = !bench_obs in
   let section_times = ref [] in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.wall_clock () in
   List.iter
     (fun (name, f) ->
       match only with
       | Some names when not (List.mem name names) -> ()
       | _ ->
-          let s0 = Unix.gettimeofday () in
-          (try f ()
-           with e ->
-             Fmt.pr "!! section %s failed: %s@." name (Printexc.to_string e));
+          let s0 = Obs.wall_clock () in
+          Obs.span obs name (fun () ->
+              try f ()
+              with e ->
+                Fmt.pr "!! section %s failed: %s@." name
+                  (Printexc.to_string e));
           section_times :=
-            (name, Unix.gettimeofday () -. s0) :: !section_times)
+            (name, Obs.wall_clock () -. s0) :: !section_times)
     sections_list;
-  let total = Unix.gettimeofday () -. t0 in
+  let total = Obs.wall_clock () -. t0 in
   Fmt.pr "@.total experiment time: %.1fs@." total;
   Option.iter
     (fun path ->
@@ -1299,4 +1320,9 @@ let () =
              ("total_s", J.Float total);
            ]);
       Fmt.pr "wrote %s@." path)
-    json_path
+    json_path;
+  Option.iter
+    (fun path ->
+      Obs.write_trace path obs;
+      Fmt.pr "wrote %s@." path)
+    trace_path

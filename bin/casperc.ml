@@ -13,6 +13,7 @@ module F = Casper_analysis.Fragment
 module Ir = Casper_ir.Lang
 module Cegis = Casper_synth.Cegis
 module Casper = Casper_core.Casper
+module Obs = Casper_obs.Obs
 open Cmdliner
 
 let pp_analysis ppf (frag : F.t) =
@@ -40,7 +41,42 @@ let pp_analysis ppf (frag : F.t) =
     (String.concat ", " frag.F.methods)
     (String.concat ", " (List.map F.feature_name frag.F.features))
 
-let compile_file path target verbose summaries_only analysis_only budget =
+(* The --trace execute stage: run each translated fragment's best
+   summary on the simulated cluster over a generated entry state, so the
+   exported trace covers the full analyze → synthesize → verify →
+   execute pipeline, scheduler task spans included. *)
+let execute_traced (obs : Obs.ctx) (report : Casper.report) : unit =
+  let cluster = Mapreduce.Cluster.spark in
+  let prog = report.Casper.program in
+  List.iter
+    (fun (t : Casper.translation) ->
+      match t.Casper.survivors with
+      | [] -> ()
+      | best :: _ -> (
+          let frag = t.Casper.frag in
+          try
+            let dom = Casper_verify.Statesgen.full_domain frag in
+            let env =
+              List.nth
+                (Casper_verify.Statesgen.gen_batch ~seed:11 ~count:3 dom
+                   prog frag)
+                2
+            in
+            let entry = Casper_vcgen.Vc.entry_of_params prog frag env in
+            Obs.span obs ~args:[ ("fragment", frag.F.frag_id) ] "execute"
+            @@ fun () ->
+            let res =
+              Casper_codegen.Runner.run_summary ~obs ~cluster ~scale:1.0
+                prog frag entry best.Cegis.summary
+            in
+            ignore
+              (Mapreduce.Engine.schedule ~obs ~cluster ~scale:1.0
+                 res.Casper_codegen.Runner.run)
+          with Minijava.Interp.Runtime_error _ -> ()))
+    report.Casper.translations
+
+let compile_file path target verbose summaries_only analysis_only budget trace
+    =
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -62,8 +98,9 @@ let compile_file path target verbose summaries_only analysis_only budget =
          ~benchmark);
     0)
   else
+  let obs = match trace with None -> Obs.null | Some _ -> Obs.create () in
   match
-    Casper.translate_source ~config ~suite:"cli" ~benchmark src
+    Casper.translate_source ~obs ~config ~suite:"cli" ~benchmark src
   with
   | exception Minijava.Lexer.Lex_error m ->
       Fmt.epr "lex error: %s@." m;
@@ -123,6 +160,13 @@ let compile_file path target verbose summaries_only analysis_only budget =
                    runtime selection)@.@."
                   (List.length t.Casper.survivors))
         report.Casper.translations;
+      (match trace with
+      | None -> ()
+      | Some file ->
+          execute_traced obs report;
+          Obs.write_trace file obs;
+          Fmt.pr "trace written to %s (metrics: %s)@." file
+            (Filename.remove_extension file ^ ".metrics.json"));
       0
 
 let path_arg =
@@ -159,12 +203,22 @@ let budget_arg =
     & info [ "budget" ] ~docv:"N"
         ~doc:"Synthesis candidate budget (the timeout knob).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a pipeline trace (analysis, synthesis, verification, \
+              code generation, simulated execution) and write it to $(docv) \
+              in Chrome trace_event JSON; a flat metrics JSON lands next to \
+              it. Open the trace at chrome://tracing or ui.perfetto.dev.")
+
 let cmd =
   let doc = "translate sequential Java loop nests into MapReduce programs" in
   Cmd.v
     (Cmd.info "casperc" ~version:"1.0.0" ~doc)
     Term.(
       const compile_file $ path_arg $ target_arg $ verbose_arg
-      $ summaries_arg $ analysis_arg $ budget_arg)
+      $ summaries_arg $ analysis_arg $ budget_arg $ trace_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -538,5 +538,13 @@ let fragments_of_method prog ~suite ~benchmark (m : meth) : F.t list =
   in
   go 0 [] [] m.body
 
-let fragments_of_program prog ~suite ~benchmark : F.t list =
-  List.concat_map (fragments_of_method prog ~suite ~benchmark) prog.methods
+let fragments_of_program ?(obs = Casper_obs.Obs.null) prog ~suite ~benchmark
+    : F.t list =
+  Casper_obs.Obs.span obs "analysis" @@ fun () ->
+  let frags =
+    List.concat_map (fragments_of_method prog ~suite ~benchmark) prog.methods
+  in
+  Casper_obs.Obs.add obs "fragments" (List.length frags);
+  Casper_obs.Obs.add obs "unsupported_fragments"
+    (List.length (List.filter (fun f -> f.F.unsupported <> None) frags));
+  frags

@@ -123,6 +123,9 @@ type choice = {
 let choose (prog : Minijava.Ast.program) (frag : F.t) (entry : Eval.env)
     (candidates : Ir.summary list) ~(n : float) (sample : Value.t list) :
     choice =
+  (* the generated monitor reads only the first k values of the live
+     input (§5.2), however large the dataset *)
+  let sample = List.filteri (fun i _ -> i < sample_k) sample in
   let est = estimate_from_sample frag entry candidates sample in
   let tenv = Casper_synth.Cegis.tenv_of_frag prog frag in
   let record_ty = Casper_synth.Lift.record_ty_of frag in

@@ -37,7 +37,8 @@ type choice = {
 }
 
 (** The monitor's decision on a sample of the live input, for a nominal
-    record count [n]. *)
+    record count [n]. Only the first {!sample_k} values of the sample
+    are read, however many are passed. *)
 val choose :
   Minijava.Ast.program ->
   F.t ->

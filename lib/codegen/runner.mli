@@ -21,8 +21,10 @@ val datasets_of :
   Minijava.Interp.env ->
   (string * Value.t list) list
 
-(** Execute one verified summary for a fragment. *)
+(** Execute one verified summary for a fragment. [obs] is forwarded to
+    {!Mapreduce.Engine.run_plan}. *)
 val run_summary :
+  ?obs:Casper_obs.Obs.ctx ->
   cluster:Mapreduce.Cluster.t ->
   scale:float ->
   Minijava.Ast.program ->

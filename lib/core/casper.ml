@@ -11,6 +11,7 @@
 module F = Casper_analysis.Fragment
 module Ir = Casper_ir.Lang
 module Cegis = Casper_synth.Cegis
+module Obs = Casper_obs.Obs
 
 type translation = {
   frag : F.t;
@@ -66,50 +67,61 @@ let prune_solutions (prog : Minijava.Ast.program) (frag : F.t)
         ~reduce_eps pairs
       |> List.map snd
 
-let translate_fragment ?(config = Cegis.default_config)
+let translate_fragment ?(obs = Obs.null) ?(config = Cegis.default_config)
     (prog : Minijava.Ast.program) (frag : F.t) : translation =
-  let outcome = Cegis.find_summary ~config prog frag in
-  let survivors = prune_solutions prog frag outcome.Cegis.solutions in
+  Obs.span obs ~args:[ ("fragment", frag.F.frag_id) ] "fragment" @@ fun () ->
+  let outcome = Cegis.find_summary ~obs ~config prog frag in
+  let survivors =
+    Obs.span obs "cost-prune" (fun () ->
+        prune_solutions prog frag outcome.Cegis.solutions)
+  in
   let best = match survivors with s :: _ -> Some s | [] -> None in
-  let src (f : ?ca:bool -> F.t -> Ir.summary -> string) =
+  let src target (f : ?ca:bool -> F.t -> Ir.summary -> string) =
     Option.map
       (fun (s : Cegis.solution) ->
-        f ~ca:s.Cegis.comm_assoc frag s.Cegis.summary)
+        Obs.span obs ~args:[ ("target", target) ] "codegen" (fun () ->
+            f ~ca:s.Cegis.comm_assoc frag s.Cegis.summary))
       best
   in
   {
     frag;
     outcome;
     survivors;
-    spark_src = src Casper_codegen.Emit_source.spark;
-    flink_src = src Casper_codegen.Emit_source.flink;
-    hadoop_src = src Casper_codegen.Emit_source.hadoop;
+    spark_src = src "spark" Casper_codegen.Emit_source.spark;
+    flink_src = src "flink" Casper_codegen.Emit_source.flink;
+    hadoop_src = src "hadoop" Casper_codegen.Emit_source.hadoop;
   }
 
 (** Parse, type-check, analyze and translate a whole benchmark source. *)
-let translate_source ?config ~suite ~benchmark (src : string) : report =
-  let program = Minijava.Parser.parse_program src in
-  Minijava.Typecheck.check_program program;
+let translate_source ?(obs = Obs.null) ?config ~suite ~benchmark
+    (src : string) : report =
+  let program =
+    Obs.span obs "parse" (fun () -> Minijava.Parser.parse_program src)
+  in
+  Obs.span obs "typecheck" (fun () ->
+      Minijava.Typecheck.check_program program);
   let frags =
-    Casper_analysis.Analyze.fragments_of_program program ~suite ~benchmark
+    Casper_analysis.Analyze.fragments_of_program ~obs program ~suite
+      ~benchmark
   in
   {
     program;
     suite;
     benchmark;
-    translations = List.map (translate_fragment ?config program) frags;
+    translations = List.map (translate_fragment ~obs ?config program) frags;
   }
 
-let translate_program ?config ~suite ~benchmark
+let translate_program ?(obs = Obs.null) ?config ~suite ~benchmark
     (program : Minijava.Ast.program) : report =
   let frags =
-    Casper_analysis.Analyze.fragments_of_program program ~suite ~benchmark
+    Casper_analysis.Analyze.fragments_of_program ~obs program ~suite
+      ~benchmark
   in
   {
     program;
     suite;
     benchmark;
-    translations = List.map (translate_fragment ?config program) frags;
+    translations = List.map (translate_fragment ~obs ?config program) frags;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -44,19 +44,33 @@ val failure_reason : translation -> string option
 val prune_solutions :
   Minijava.Ast.program -> F.t -> Cegis.solution list -> Cegis.solution list
 
-(** Translate a single analyzed fragment. *)
+(** Translate a single analyzed fragment. [obs] (default disabled)
+    wraps the work in a "fragment" span with "synthesis", "cost-prune"
+    and per-target "codegen" children. *)
 val translate_fragment :
-  ?config:Cegis.config -> Minijava.Ast.program -> F.t -> translation
+  ?obs:Casper_obs.Obs.ctx ->
+  ?config:Cegis.config ->
+  Minijava.Ast.program ->
+  F.t ->
+  translation
 
 (** Parse, type-check, analyze and translate MiniJava source text.
+    With [obs] enabled the whole pipeline is recorded as spans — parse,
+    typecheck, analysis, then one fragment subtree per translation.
     @raise Minijava.Lexer.Lex_error on lexical errors
     @raise Minijava.Parser.Parse_error on syntax errors
     @raise Minijava.Typecheck.Type_error on type errors *)
 val translate_source :
-  ?config:Cegis.config -> suite:string -> benchmark:string -> string -> report
+  ?obs:Casper_obs.Obs.ctx ->
+  ?config:Cegis.config ->
+  suite:string ->
+  benchmark:string ->
+  string ->
+  report
 
 (** Like {!translate_source} for an already-parsed program. *)
 val translate_program :
+  ?obs:Casper_obs.Obs.ctx ->
   ?config:Cegis.config ->
   suite:string ->
   benchmark:string ->

@@ -30,6 +30,7 @@ module Engine = Mapreduce.Engine
 module Cluster = Mapreduce.Cluster
 module Fastpath = Casper_ir.Fastpath
 module Value = Casper_common.Value
+module Obs = Casper_obs.Obs
 open Minijava
 
 type config = {
@@ -143,26 +144,42 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
               | Some u -> F.unsupported_to_string u
               | None -> "unsupported"))
     | frag :: _ -> (
-        (* ---- synthesis, fast path off vs on ---- *)
+        (* ---- synthesis, fast path off vs on; the on-run is also the
+           traced run, under a seeded virtual clock, so the same
+           comparison doubles as the observability oracle: enabling
+           tracing must not perturb the search, and the recorded spans
+           must come out well-nested ---- *)
         let synth () = Cegis.find_summary ~config:cfg.synth prog frag in
+        let obs =
+          Obs.create ~clock:(Obs.virtual_clock ~seed:cfg.input_seed ()) ()
+        in
+        let synth_traced () =
+          Cegis.find_summary ~obs ~config:cfg.synth prog frag
+        in
         let outcome =
           if cfg.check_fastpath then begin
             let off = Fastpath.with_enabled false synth in
-            let on = Fastpath.with_enabled true synth in
+            let on = Fastpath.with_enabled true synth_traced in
             if not (stats_equal off.Cegis.stats on.Cegis.stats) then
               fail "fastpath"
-                "search stats differ with the fast path on vs off \
+                "search stats differ with the fast path + tracing on vs off \
                  (tried %d vs %d, iterations %d vs %d)"
                 off.Cegis.stats.Cegis.candidates_tried
                 on.Cegis.stats.Cegis.candidates_tried
                 off.Cegis.stats.Cegis.cegis_iterations
                 on.Cegis.stats.Cegis.cegis_iterations;
             if not (solutions_equal off.Cegis.solutions on.Cegis.solutions)
-            then fail "fastpath" "solutions differ with the fast path on vs off";
+            then
+              fail "fastpath"
+                "solutions differ with the fast path + tracing on vs off";
             on
           end
-          else synth ()
+          else synth_traced ()
         in
+        if not (Obs.well_formed obs) then
+          fail "obs" "synthesis left unclosed spans on the trace stack";
+        if Obs.tree obs = [] then
+          fail "obs" "traced synthesis recorded no spans";
         match outcome.Cegis.solutions with
         | [] ->
             Skipped

@@ -15,6 +15,7 @@
 
 module Value = Casper_common.Value
 module Multiset = Casper_common.Multiset
+module Obs = Casper_obs.Obs
 
 exception Engine_error of string
 
@@ -97,8 +98,10 @@ let group_fold f records =
     (the plan's reads would silently resolve to whichever binding comes
     first) and when a shuffle stage runs on a cluster with no worker
     slots to partition across. *)
-let rec run_plan ?sched ~(cluster : Cluster.t)
+let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
     ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+  Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
+  @@ fun () ->
   let rec check_dup = function
     | [] -> ()
     | (name, _) :: rest ->
@@ -193,7 +196,7 @@ let rec run_plan ?sched ~(cluster : Cluster.t)
             else mk ~shuffled:bytes_in ~is_shuffle:true [ result ])
     | Plan.Join_with { right; _ } ->
         check_workers ();
-        let right_run = run_plan ~cluster ~datasets right in
+        let right_run = run_plan ~obs ~cluster ~datasets right in
         nested_metrics := !nested_metrics @ right_run.stages;
         let tbl = Hashtbl.create 256 in
         List.iter
@@ -222,7 +225,16 @@ let rec run_plan ?sched ~(cluster : Cluster.t)
   let output, rev_stages =
     List.fold_left
       (fun (cur, ms) stage ->
-        let out, m = exec cur stage in
+        let out, m =
+          Obs.span obs (Plan.stage_label stage) @@ fun () ->
+          let out, m = exec cur stage in
+          Obs.add obs "records_out" m.records_out;
+          if m.is_shuffle then begin
+            Obs.add obs "shuffle_records" m.records_in;
+            Obs.add obs "shuffle_bytes" m.bytes_shuffled
+          end;
+          (out, m)
+        in
         (out, m :: ms))
       (input, []) plan.Plan.stages
   in
@@ -357,15 +369,19 @@ let sched_plan ~(cluster : Cluster.t) ~(scale : float) (r : run) :
 (** Schedule the run task-by-task and return the full outcome
     (completion time, event trace, attempt/failure counters). [config]
     defaults to the run's own [sched] configuration, or fault-free. *)
-let schedule ~(cluster : Cluster.t) ~(scale : float) ?config (r : run) :
-    Sched.Coordinator.outcome =
+let schedule ?(obs = Obs.null) ~(cluster : Cluster.t) ~(scale : float)
+    ?config (r : run) : Sched.Coordinator.outcome =
   let config =
     match (config, r.sched) with
     | Some c, _ -> c
     | None, Some c -> c
     | None, None -> Sched.Coordinator.fault_free
   in
-  Sched.Coordinator.run ~config (sched_plan ~cluster ~scale r)
+  let o = Sched.Coordinator.run ~config (sched_plan ~cluster ~scale r) in
+  if Obs.enabled obs then
+    Obs.span obs "sched" (fun () ->
+        Sched.Trace.to_obs obs o.Sched.Coordinator.trace);
+  o
 
 (** Estimated wall-clock seconds for a completed run on [cluster], with
     in-memory volumes scaled by [scale] to the nominal workload. Runs

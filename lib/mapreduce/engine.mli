@@ -40,10 +40,13 @@ type run = {
 (** Execute a plan over named in-memory datasets. Pass [?sched] to
     charge wall-clock from a task-level schedule (with fault injection
     and speculative execution) instead of the closed-form estimate.
+    [obs] (default disabled) records an "engine.run_plan" span with one
+    child span per stage, carrying record and shuffle-volume counters.
     @raise Engine_error on unknown or duplicate dataset names, shape
     errors, and shuffles on a cluster with no worker slots. *)
 val run_plan :
   ?sched:Sched.Coordinator.config ->
+  ?obs:Casper_obs.Obs.ctx ->
   cluster:Cluster.t ->
   datasets:(string * Value.t list) list ->
   Plan.t ->
@@ -65,8 +68,11 @@ val sched_plan :
 
 (** Schedule the run task-by-task: completion time, event trace and
     attempt/failure counters. [config] defaults to the run's own
-    [sched] configuration, or fault-free. *)
+    [sched] configuration, or fault-free. With [obs] enabled the event
+    trace is folded into the span tree under a "sched" span (see
+    {!Sched.Trace.to_obs}). *)
 val schedule :
+  ?obs:Casper_obs.Obs.ctx ->
   cluster:Cluster.t ->
   scale:float ->
   ?config:Sched.Coordinator.config ->

@@ -1,0 +1,292 @@
+(** The pipeline observability substrate: hierarchical spans, typed
+    counters and gauges, and Chrome [trace_event] export.
+
+    One {!ctx} is threaded through the whole pipeline — program
+    analysis, grammar generation, the CEGIS rounds, bounded and full
+    verification, code generation, the engine and the task scheduler —
+    so a single trace file shows a workload end to end. Time comes from
+    an injectable {!clock}: the monotonic wall clock by default, a
+    seeded virtual clock under test/difftest so trace shapes (and the
+    synthesizer's [elapsed_s]) are deterministic and goldens stay
+    byte-stable.
+
+    Disabled contexts ({!null}) are cheap no-ops: every operation starts
+    with one flag check and touches nothing else, so instrumentation can
+    stay unconditionally in place on hot paths (the <2% overhead budget
+    the CI smoke bench enforces). *)
+
+module J = Casper_common.Jsonout
+module Rng = Casper_common.Rng
+
+type clock = unit -> float
+
+let wall_clock : clock = Unix.gettimeofday
+
+let virtual_clock ?(seed = 0) () : clock =
+  (* deterministic, strictly increasing, with seeded pseudo-random
+     sub-millisecond steps so durations look organic in a viewer *)
+  let rng = Rng.create (seed + 7919) in
+  let t = ref 0.0 in
+  fun () ->
+    let v = !t in
+    t := v +. 1e-6 +. (Rng.float rng *. 1e-3);
+    v
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+type node = {
+  name : string;
+  track : string;
+  t0 : float;
+  mutable t1 : float;
+  args : (string * string) list;
+  mutable counters : (string * int) list;  (** insertion order *)
+  mutable rev_children : node list;
+}
+
+type ctx = {
+  on : bool;
+  clock : clock;
+  root : node;
+  mutable stack : node list;  (** open spans, innermost first; ends at root *)
+  totals : (string, int) Hashtbl.t;
+  mutable gauges : (string * float) list;
+}
+
+let make_node ~track ~t0 ?(args = []) name =
+  { name; track; t0; t1 = t0; args; counters = []; rev_children = [] }
+
+let default_track = "pipeline"
+
+let null : ctx =
+  {
+    on = false;
+    clock = wall_clock;
+    root = make_node ~track:default_track ~t0:0.0 "root";
+    stack = [];
+    totals = Hashtbl.create 1;
+    gauges = [];
+  }
+
+let create ?(clock = wall_clock) () : ctx =
+  let root = make_node ~track:default_track ~t0:(clock ()) "root" in
+  {
+    on = true;
+    clock;
+    root;
+    stack = [ root ];
+    totals = Hashtbl.create 64;
+    gauges = [];
+  }
+
+let enabled c = c.on
+let now c = c.clock ()
+
+let span c ?(args = []) (name : string) (f : unit -> 'a) : 'a =
+  if not c.on then f ()
+  else begin
+    let parent = match c.stack with p :: _ -> p | [] -> c.root in
+    let n = make_node ~track:parent.track ~t0:(c.clock ()) ~args name in
+    parent.rev_children <- n :: parent.rev_children;
+    c.stack <- n :: c.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        n.t1 <- c.clock ();
+        (* pop back to this span even if an inner span escaped via an
+           exception without unwinding cleanly *)
+        let rec pop = function
+          | top :: rest when top == n -> c.stack <- rest
+          | _ :: rest -> pop rest
+          | [] -> c.stack <- [ c.root ]
+        in
+        pop c.stack)
+      f
+  end
+
+let span_at c ?(track = "sched") ?(args = []) ~(t0 : float) ~(t1 : float)
+    (name : string) : unit =
+  if c.on then begin
+    let parent = match c.stack with p :: _ -> p | [] -> c.root in
+    let n = make_node ~track ~t0 ~args name in
+    n.t1 <- t1;
+    parent.rev_children <- n :: parent.rev_children
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                  *)
+
+let rec bump assoc key d =
+  match assoc with
+  | [] -> [ (key, d) ]
+  | (k, v) :: rest ->
+      if String.equal k key then (k, v + d) :: rest
+      else (k, v) :: bump rest key d
+
+(** Add [d] to counter [key]: on the innermost open span and on the
+    flat per-run totals. *)
+let add c (key : string) (d : int) : unit =
+  if c.on then begin
+    (match c.stack with
+    | top :: _ -> top.counters <- bump top.counters key d
+    | [] -> ());
+    let prev = try Hashtbl.find c.totals key with Not_found -> 0 in
+    Hashtbl.replace c.totals key (prev + d)
+  end
+
+let set_gauge c (key : string) (v : float) : unit =
+  if c.on then c.gauges <- (key, v) :: List.remove_assoc key c.gauges
+
+let total c (key : string) : int =
+  try Hashtbl.find c.totals key with Not_found -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Read-side views                                                      *)
+
+type view = {
+  v_name : string;
+  v_track : string;
+  v_t0 : float;
+  v_t1 : float;
+  v_args : (string * string) list;
+  v_counters : (string * int) list;  (** sorted by key *)
+  v_children : view list;
+}
+
+let rec view_of (n : node) : view =
+  {
+    v_name = n.name;
+    v_track = n.track;
+    v_t0 = n.t0;
+    v_t1 = n.t1;
+    v_args = n.args;
+    v_counters =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) n.counters;
+    v_children = List.rev_map view_of n.rev_children;
+  }
+
+let tree c : view list =
+  if not c.on then [] else (view_of c.root).v_children
+
+let well_formed c : bool =
+  (not c.on) || (match c.stack with [ r ] -> r == c.root | _ -> false)
+
+(** The structural shape of the span tree: names, nesting and counter
+    keys, with duplicate sibling subtrees collapsed (first-occurrence
+    order). Counter values and timestamps are omitted, so the rendering
+    is stable across budgets and machines — the surface the trace-schema
+    golden tests pin. *)
+let shape c : string =
+  let buf = Buffer.create 256 in
+  let rec render indent (v : view) =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf v.v_name;
+    (match v.v_counters with
+    | [] -> ()
+    | cs ->
+        Buffer.add_char buf '[';
+        Buffer.add_string buf (String.concat "," (List.map fst cs));
+        Buffer.add_char buf ']');
+    Buffer.add_char buf '\n';
+    List.iter (render (indent + 2)) (dedup v.v_children)
+  and dedup children =
+    (* collapse duplicate sibling shapes, preserving first occurrence *)
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun child ->
+        let b = Buffer.create 64 in
+        let rec key d (v : view) =
+          Buffer.add_string b (String.make d '>');
+          Buffer.add_string b v.v_name;
+          List.iter (fun (k, _) -> Buffer.add_string b ("," ^ k)) v.v_counters;
+          List.iter (key (d + 1)) v.v_children
+        in
+        key 0 child;
+        let k = Buffer.contents b in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      children
+  in
+  List.iter (render 0) (tree c);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+
+let metrics c : J.t =
+  let counters =
+    Hashtbl.fold (fun k v acc -> (k, J.Int v) :: acc) c.totals []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let gauges =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) c.gauges
+    |> List.map (fun (k, v) -> (k, J.Float v))
+  in
+  J.Obj [ ("counters", J.Obj counters); ("gauges", J.Obj gauges) ]
+
+(** Chrome [trace_event] JSON (the object format): complete ("X")
+    duration events, one thread id per track, each track rebased so its
+    earliest span starts at ts 0 (the scheduler track carries simulation
+    time, not wall time). The flat metrics object rides along under the
+    "metrics" key — extra top-level keys are legal in the format. *)
+let to_chrome c : J.t =
+  let views = tree c in
+  (* track → (tid, base time), discovered in traversal order *)
+  let tracks : (string, int * float) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  let rec scan (v : view) =
+    (match Hashtbl.find_opt tracks v.v_track with
+    | None ->
+        Hashtbl.add tracks v.v_track (1 + List.length !order, v.v_t0);
+        order := v.v_track :: !order
+    | Some (tid, base) ->
+        if v.v_t0 < base then Hashtbl.replace tracks v.v_track (tid, v.v_t0));
+    List.iter scan v.v_children
+  in
+  List.iter scan views;
+  let rev_events = ref [] in
+  let rec emit (v : view) =
+    let tid, base =
+      match Hashtbl.find_opt tracks v.v_track with
+      | Some tb -> tb
+      | None -> (0, v.v_t0)
+    in
+    let us t = Float.max 0.0 ((t -. base) *. 1e6) in
+    let args =
+      List.map (fun (k, s) -> (k, J.Str s)) v.v_args
+      @ List.map (fun (k, n) -> (k, J.Int n)) v.v_counters
+    in
+    rev_events :=
+      J.Obj
+        ([
+           ("name", J.Str v.v_name);
+           ("cat", J.Str v.v_track);
+           ("ph", J.Str "X");
+           ("ts", J.Float (us v.v_t0));
+           ("dur", J.Float (Float.max 0.0 ((v.v_t1 -. v.v_t0) *. 1e6)));
+           ("pid", J.Int 1);
+           ("tid", J.Int tid);
+         ]
+        @ if args = [] then [] else [ ("args", J.Obj args) ])
+      :: !rev_events;
+    List.iter emit v.v_children
+  in
+  List.iter emit views;
+  J.Obj
+    [
+      ("traceEvents", J.List (List.rev !rev_events));
+      ("displayTimeUnit", J.Str "ms");
+      ("metrics", metrics c);
+    ]
+
+let to_chrome_string c : string = J.to_string (to_chrome c)
+
+(** Write the Chrome trace to [path] and the flat metrics to
+    [<path minus extension>.metrics.json]. *)
+let write_trace (path : string) c : unit =
+  J.write_file path (to_chrome c);
+  let metrics_path = Filename.remove_extension path ^ ".metrics.json" in
+  J.write_file metrics_path (metrics c)

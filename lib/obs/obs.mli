@@ -1,0 +1,89 @@
+(** Pipeline observability: hierarchical spans with an injectable
+    deterministic clock, typed counters and gauges, and Chrome
+    [trace_event] export. Disabled contexts ({!null}) reduce every
+    operation to a flag check, so instrumentation stays in place on hot
+    paths at <2% cost (the CI smoke bench enforces the budget). *)
+
+type clock = unit -> float
+
+(** The monotonic wall clock ([Unix.gettimeofday]). *)
+val wall_clock : clock
+
+(** A deterministic virtual clock: strictly increasing, with seeded
+    pseudo-random sub-millisecond steps. Used by tests and the difftest
+    oracle so span trees and [elapsed_s] statistics are reproducible. *)
+val virtual_clock : ?seed:int -> unit -> clock
+
+type ctx
+
+(** The shared disabled context: every operation is a no-op. *)
+val null : ctx
+
+val create : ?clock:clock -> unit -> ctx
+val enabled : ctx -> bool
+
+(** The context's current time — the shared replacement for private
+    [Unix.gettimeofday] timers. *)
+val now : ctx -> float
+
+(** [span c name f] runs [f] inside a span nested under the innermost
+    open span; closed on exceptions too. [args] are free-form string
+    annotations shown in the trace viewer. *)
+val span : ctx -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Record an already-completed span with explicit timestamps, e.g. when
+    folding the scheduler's simulation-time event trace into the tree.
+    [track] (default ["sched"]) separates its timeline from the wall
+    clock's. *)
+val span_at :
+  ctx ->
+  ?track:string ->
+  ?args:(string * string) list ->
+  t0:float ->
+  t1:float ->
+  string ->
+  unit
+
+(** Add to a typed counter, on the innermost open span and on the flat
+    per-run totals. *)
+val add : ctx -> string -> int -> unit
+
+val set_gauge : ctx -> string -> float -> unit
+
+(** Flat total of a counter (0 when never bumped, or disabled). *)
+val total : ctx -> string -> int
+
+(** Read-side span view; children in start order, counters sorted. *)
+type view = {
+  v_name : string;
+  v_track : string;
+  v_t0 : float;
+  v_t1 : float;
+  v_args : (string * string) list;
+  v_counters : (string * int) list;
+  v_children : view list;
+}
+
+(** Top-level spans recorded so far (empty for disabled contexts). *)
+val tree : ctx -> view list
+
+(** Every [span] opened has been closed (trivially true when disabled). *)
+val well_formed : ctx -> bool
+
+(** Structural shape of the span tree — names, nesting, counter keys,
+    duplicate siblings collapsed — the byte-stable surface golden tests
+    assert against. *)
+val shape : ctx -> string
+
+(** Flat metrics: {["counters"]} (ints) and {["gauges"]} (floats). *)
+val metrics : ctx -> Casper_common.Jsonout.t
+
+(** Chrome [trace_event] JSON ("X" complete events, one tid per track,
+    metrics embedded under the extra "metrics" key). *)
+val to_chrome : ctx -> Casper_common.Jsonout.t
+
+val to_chrome_string : ctx -> string
+
+(** Write the Chrome trace to [path] and the flat metrics next to it,
+    as [<path minus extension>.metrics.json]. *)
+val write_trace : string -> ctx -> unit

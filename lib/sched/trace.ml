@@ -110,13 +110,84 @@ let summarize tr : stage_row list =
       | Recovered _ -> r := { !r with recoveries = !r.recoveries + 1 }
       | Worker_died _ -> ())
     (events tr);
-  Hashtbl.iter
-    (fun (stage, _) bytes ->
-      let r = row stage "" in
-      r := { !r with mb_out = !r.mb_out +. (float_of_int bytes /. 1048576.0) })
-    last_bytes;
+  (* accumulate in sorted key order, not hashtable order: float addition
+     is not associative, so iteration order would otherwise leak into
+     the rendered mb_out digits *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) last_bytes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun ((stage, _), bytes) ->
+         let r = row stage "" in
+         r :=
+           { !r with mb_out = !r.mb_out +. (float_of_int bytes /. 1048576.0) });
   Hashtbl.fold (fun _ r acc -> !r :: acc) rows []
   |> List.sort (fun a b -> compare a.stage b.stage)
+
+(** Fold the event log into an observability span tree, under the
+    caller's current span: one completed span per task attempt (start →
+    finish/fail, named by the stage label) plus zero-length marks for
+    recoveries and worker deaths, all on the "sched" track, in event
+    order — so same-seed schedules export byte-identical traces. *)
+let to_obs (obs : Casper_obs.Obs.ctx) tr : unit =
+  if Casper_obs.Obs.enabled obs then begin
+    let open_attempts :
+        (int * int * int * int, float * bool) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let close (e : event) ~worker ~attempt ~outcome extra =
+      let key = (e.stage, e.task, attempt, worker) in
+      match Hashtbl.find_opt open_attempts key with
+      | None -> ()
+      | Some (t0, speculative) ->
+          Hashtbl.remove open_attempts key;
+          Casper_obs.Obs.span_at obs ~t0 ~t1:e.t_s
+            ~args:
+              ([
+                 ("task", string_of_int e.task);
+                 ("attempt", string_of_int attempt);
+                 ("worker", string_of_int worker);
+                 ("outcome", outcome);
+               ]
+              @ (if speculative then [ ("speculative", "true") ] else [])
+              @ extra)
+            e.label
+    in
+    List.iter
+      (fun (e : event) ->
+        match e.kind with
+        | Started { worker; attempt; speculative } ->
+            Casper_obs.Obs.add obs "task_attempts" 1;
+            (* attempt numbers start at 1 (see Coordinator.start_attempt) *)
+            if attempt > 1 && not speculative then
+              Casper_obs.Obs.add obs "task_retries" 1;
+            if speculative then
+              Casper_obs.Obs.add obs "speculative_launches" 1;
+            Hashtbl.replace open_attempts
+              (e.stage, e.task, attempt, worker)
+              (e.t_s, speculative)
+        | Finished { worker; attempt; bytes_out } ->
+            Casper_obs.Obs.add obs "tasks_finished" 1;
+            close e ~worker ~attempt ~outcome:"finished"
+              [ ("bytes_out", string_of_int bytes_out) ];
+        | Failed { worker; attempt; reason } ->
+            Casper_obs.Obs.add obs "task_failures" 1;
+            close e ~worker ~attempt ~outcome:"failed"
+              [ ("reason", reason) ]
+        | Recovered { worker; lost_share; delay_s } ->
+            Casper_obs.Obs.add obs "recoveries" 1;
+            Casper_obs.Obs.span_at obs ~t0:e.t_s ~t1:(e.t_s +. delay_s)
+              ~args:
+                [
+                  ("worker", string_of_int worker);
+                  ("lost_share", Fmt.str "%.2f" lost_share);
+                ]
+              "recover"
+        | Worker_died { worker } ->
+            Casper_obs.Obs.add obs "worker_deaths" 1;
+            Casper_obs.Obs.span_at obs ~t0:e.t_s ~t1:e.t_s
+              ~args:[ ("worker", string_of_int worker) ]
+              "worker-died")
+      (events tr)
+  end
 
 (** Per-stage summary as a rendered table. *)
 let render tr : string =

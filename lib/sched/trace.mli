@@ -26,6 +26,13 @@ val record :
 (** All events in timestamp order. *)
 val events : t -> event list
 
+(** Fold the event log into an observability span tree under the
+    caller's current span: one completed "sched"-track span per task
+    attempt, marks for recoveries and worker deaths, and attempt/retry/
+    speculation/failure counters. Deterministic in event order, so
+    same-seed schedules export byte-identical traces. *)
+val to_obs : Casper_obs.Obs.ctx -> t -> unit
+
 type stage_row = {
   stage : int;
   label : string;

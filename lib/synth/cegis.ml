@@ -25,6 +25,7 @@ module Vc = Casper_vcgen.Vc
 module Value = Casper_common.Value
 module Memo = Casper_ir.Memo
 module Fastpath = Casper_ir.Fastpath
+module Obs = Casper_obs.Obs
 
 type config = {
   incremental : bool;  (** false = Table 3's flat-grammar ablation *)
@@ -300,11 +301,21 @@ let holds_on_cached (st : search_state) frag (c : Ir.summary) (cid : int) :
     batch shared by every candidate of this search (fast path only;
     generation is deterministic, so it equals the per-call batch the
     plain path regenerates). *)
-let synthesize (cfg : config) (st : search_state) prog frag
+let synthesize (cfg : config) (st : search_state) prog frag ~(obs : Obs.ctx)
     ~(bounded : Verifier.prepared list Lazy.t)
     (cands : (Ir.summary * int) Seq.t) :
     (Ir.summary * int * (Ir.summary * int) Seq.t) option =
   let fast = !Fastpath.enabled in
+  (* counters are batched per round — one add at exit instead of one per
+     candidate — to keep enabled-tracing overhead off the search's hot
+     path; the totals are identical *)
+  let tried0 = st.tried and iters0 = st.iters in
+  let record r =
+    if st.tried > tried0 then Obs.add obs "candidates" (st.tried - tried0);
+    if st.iters > iters0 then
+      Obs.add obs "cegis_iterations" (st.iters - iters0);
+    r
+  in
   let rec go (s : (Ir.summary * int) Seq.t) =
     if st.tried >= st.budget then None
     else
@@ -329,6 +340,7 @@ let synthesize (cfg : config) (st : search_state) prog frag
             else (
               st.iters <- st.iters + 1;
               let outcome =
+                Obs.span obs "bounded-verify" @@ fun () ->
                 if fast then (
                   match Hashtbl.find_opt st.bounded_verdicts cid with
                   | Some o ->
@@ -355,7 +367,7 @@ let synthesize (cfg : config) (st : search_state) prog frag
                   block st c cid;
                   go rest))
   in
-  go cands
+  record (go cands)
 
 (* ------------------------------------------------------------------ *)
 
@@ -418,13 +430,23 @@ let static_cost prog (frag : F.t) (probe : Casper_ir.Eval.env)
 (* ------------------------------------------------------------------ *)
 
 (** Figure 5 lines 10–24: the full search. *)
-let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
-    (frag : F.t) : outcome =
+let rec find_summary ?(obs = Obs.null) ?(config = default_config)
+    (prog : Minijava.Ast.program) (frag : F.t) : outcome =
   (* fresh memo/hash-cons tables per search; interned ids are monotonic,
      so entries from earlier searches can never alias new ones *)
   Memo.clear ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now obs in
+  (* fast-path cache counters are cumulative across searches; deltas
+     against this snapshot are this search's hit/miss contribution *)
+  let fp0 = { Fastpath.counters with Fastpath.eval_hits = Fastpath.counters.Fastpath.eval_hits } in
   let finish ~classes ~timed_out st solutions =
+    let fc = Fastpath.counters in
+    Obs.add obs "memo_eval_hits" (fc.Fastpath.eval_hits - fp0.Fastpath.eval_hits);
+    Obs.add obs "memo_eval_misses" (fc.Fastpath.eval_misses - fp0.Fastpath.eval_misses);
+    Obs.add obs "phi_memo_hits" (fc.Fastpath.phi_hits - fp0.Fastpath.phi_hits);
+    Obs.add obs "verdict_memo_hits" (fc.Fastpath.verdict_hits - fp0.Fastpath.verdict_hits);
+    Obs.add obs "blocked_set"
+      (Hashtbl.length st.blocked + Hashtbl.length st.blocked_text);
     let probe =
       match make_probes prog frag with p :: _ -> p | [] -> []
     in
@@ -448,18 +470,23 @@ let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
           cegis_iterations = st.iters;
           tp_failures = st.tp_fail;
           classes_explored = classes;
-          elapsed_s = Unix.gettimeofday () -. t0;
+          elapsed_s = Obs.now obs -. t0;
           timed_out;
         };
     }
   in
+  Obs.span obs ~args:[ ("fragment", frag.F.frag_id) ] "synthesis" @@ fun () ->
   match frag.unsupported with
   | Some _ ->
       finish ~classes:0 ~timed_out:false (make_state prog frag ~budget:0) []
   | None ->
       (* pools are only needed by the class loop — built lazily so a
          fragment solved by decomposition never pays for them *)
-      let pools = lazy (G.build prog frag (make_probes prog frag)) in
+      let pools =
+        lazy
+          (Obs.span obs "grammar" (fun () ->
+               G.build prog frag (make_probes prog frag)))
+      in
       let klasses =
         if config.incremental then G.classes frag else [ G.flat_class frag ]
       in
@@ -514,31 +541,47 @@ let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
       let rec class_loop classes_done = function
         | [] -> finish ~classes:classes_done ~timed_out:false st !delta
         | k :: rest ->
-            let cands =
-              Enumerate.candidates ~stop prog frag (Lazy.force pools) k
+            (* force the pools outside the class span so the grammar
+               span sits directly under "synthesis" *)
+            let pools_v = Lazy.force pools in
+            let verdict =
+              Obs.span obs
+                ~args:[ ("class", string_of_int k.G.k_id) ]
+                "class"
+              @@ fun () ->
+              let cands = Enumerate.candidates ~stop prog frag pools_v k in
+              let rec inner cands =
+                if
+                  st.tried >= st.budget
+                  || List.length !delta >= config.max_solutions
+                then `Stop
+                else
+                  match
+                    Obs.span obs "round" (fun () ->
+                        synthesize config st prog frag ~obs ~bounded cands)
+                  with
+                  | None -> `Exhausted
+                  | Some (c, cid, cands_rest) ->
+                      block st c cid;
+                      (match
+                         Obs.span obs "full-verify" (fun () ->
+                             full_verify_c c cid)
+                       with
+                      | Verifier.Valid -> delta := (c, k.G.k_id) :: !delta
+                      | Verifier.Counterexample phi_state ->
+                          (* theorem-prover rejection: block and refine Φ so
+                             related candidates die in the inner loop *)
+                          st.tp_fail <- st.tp_fail + 1;
+                          Obs.add obs "tp_failures" 1;
+                          add_phi st prog frag phi_state
+                      | Verifier.Invalid_summary _ ->
+                          st.tp_fail <- st.tp_fail + 1;
+                          Obs.add obs "tp_failures" 1);
+                      inner cands_rest
+              in
+              inner cands
             in
-            let rec inner cands =
-              if
-                st.tried >= st.budget
-                || List.length !delta >= config.max_solutions
-              then `Stop
-              else
-                match synthesize config st prog frag ~bounded cands with
-                | None -> `Exhausted
-                | Some (c, cid, cands_rest) ->
-                    block st c cid;
-                    (match full_verify_c c cid with
-                    | Verifier.Valid -> delta := (c, k.G.k_id) :: !delta
-                    | Verifier.Counterexample phi_state ->
-                        (* theorem-prover rejection: block and refine Φ so
-                           related candidates die in the inner loop *)
-                        st.tp_fail <- st.tp_fail + 1;
-                        add_phi st prog frag phi_state
-                    | Verifier.Invalid_summary _ ->
-                        st.tp_fail <- st.tp_fail + 1);
-                    inner cands_rest
-            in
-            (match inner cands with
+            (match verdict with
             | `Stop ->
                 finish ~classes:(classes_done + 1)
                   ~timed_out:(st.tried >= st.budget && List.is_empty !delta)
@@ -555,7 +598,7 @@ let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
       in
       if config.incremental && scalar_only && List.length frag.outputs >= 3
       then
-        match decompose_multi_output ~config prog frag with
+        match decompose_multi_output ~obs ~config prog frag with
         | Some oc -> oc
         | None -> class_loop 0 klasses
       else class_loop 0 klasses
@@ -568,8 +611,8 @@ let rec find_summary ?(config = default_config) (prog : Minijava.Ast.program)
     enumerative synthesizer this factorization reaches the same
     summaries without the cartesian blow-up. The merged result is
     checked end-to-end, so soundness is unaffected. *)
-and decompose_multi_output ~(config : config) prog (frag : F.t) :
-    outcome option =
+and decompose_multi_output ~(obs : Obs.ctx) ~(config : config) prog
+    (frag : F.t) : outcome option =
   let sub_config =
     {
       config with
@@ -577,12 +620,12 @@ and decompose_multi_output ~(config : config) prog (frag : F.t) :
       max_solutions = 6;
     }
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now obs in
   let subs =
     List.map
       (fun out ->
         let frag_o = { frag with F.outputs = [ out ] } in
-        (out, find_summary ~config:sub_config prog frag_o))
+        (out, find_summary ~obs ~config:sub_config prog frag_o))
       frag.outputs
   in
   let tried =
@@ -682,7 +725,9 @@ and decompose_multi_output ~(config : config) prog (frag : F.t) :
             | Verifier.Valid -> true
             | _ -> false
       in
-      List.filter valid merged_candidates
+      List.filter
+        (fun s -> Obs.span obs "full-verify" (fun () -> valid s))
+        merged_candidates
     in
     match verified with
     | [] -> None
@@ -711,7 +756,7 @@ and decompose_multi_output ~(config : config) prog (frag : F.t) :
                 cegis_iterations = iters;
                 tp_failures = tp;
                 classes_explored = List.length frag.outputs;
-                elapsed_s = Unix.gettimeofday () -. t0;
+                elapsed_s = Obs.now obs -. t0;
                 timed_out = false;
               };
           }

@@ -57,6 +57,13 @@ val summary_comm_assoc :
 
 (** Figure 5 lines 10–24: the full search. Cost-sorted verified
     summaries; empty when the fragment is unsupported or the space is
-    exhausted/budget spent without a verifiable candidate. *)
+    exhausted/budget spent without a verifiable candidate.
+
+    [obs] (default disabled) records the search as spans — "synthesis" →
+    "grammar" / per-"class" → "round" → "bounded-verify", plus
+    "full-verify" — with candidate, iteration, TP-failure, fast-path
+    memo-hit and blocked-set counters; it also supplies the clock behind
+    [elapsed_s], so a virtual-clock context makes the statistic
+    deterministic. *)
 val find_summary :
-  ?config:config -> Minijava.Ast.program -> F.t -> outcome
+  ?obs:Casper_obs.Obs.ctx -> ?config:config -> Minijava.Ast.program -> F.t -> outcome

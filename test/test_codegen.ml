@@ -269,8 +269,87 @@ let test_monitor_switch_decision () =
       check "guarded cost grows" true
         (cost_of c0 0 < cost_of c50 0 && cost_of c50 0 < cost_of c95 0);
       check "unguarded cost flat" true
-        (Float.abs (cost_of c0 1 -. cost_of c95 1) < 1e-6)
+        (Float.abs (cost_of c0 1 -. cost_of c95 1) < 1e-6);
+      (* implementation switching end to end: whichever candidate the
+         monitor picks, executing it gives the sequential answer *)
+      List.iter
+        (fun pct ->
+          let env = [ ("ws", Value.List (mk_sample pct)); ("k", Value.Str "k") ] in
+          let entry = Vc.entry_of_params prog frag env in
+          let c = decide pct in
+          let chosen = List.nth candidates c.Monitor.chosen in
+          let seq, _ = Runner.run_sequential ~scale:1.0 prog frag entry in
+          let r =
+            Runner.run_summary ~cluster:Mapreduce.Cluster.spark ~scale:1.0
+              prog frag entry chosen
+          in
+          check
+            (Fmt.str "%d%% match: chosen plan computes the answer" pct)
+            true
+            (Runner.outputs_agree frag seq r.Runner.outputs))
+        [ 0; 50; 95 ]
   | _ -> Alcotest.fail "expected guarded-KV and unguarded-scalar candidates"
+
+let test_monitor_sample_cap () =
+  (* the monitor reads only the first sample_k values; a skew confined
+     to the tail of a large input must not show up in the estimate *)
+  let src =
+    {|boolean f(List<String> ws, String k) {
+        boolean found = false;
+        for (String w : ws) { if (w.equals(k)) found = true; }
+        return found;
+      }|}
+  in
+  let big =
+    List.init (Monitor.sample_k + 1000) (fun i ->
+        Value.Str (if i < Monitor.sample_k then "z" else "k"))
+  in
+  let env = [ ("ws", Value.List big); ("k", Value.Str "k") ] in
+  let prog, frag, best, entry = translated src env in
+  let c = Monitor.choose prog frag entry [ best.Cegis.summary ] ~n:1e6 big in
+  check "sample capped at sample_k" true
+    (c.Monitor.estimate.Monitor.sample_size = Monitor.sample_k);
+  (match c.Monitor.estimate.Monitor.guard_probs with
+  | (_, p) :: _ ->
+      check "tail-only matches invisible to the monitor" true
+        (Float.abs p < 1e-9)
+  | [] -> ());
+  (* estimate_from_sample itself is uncapped: callers hand it the
+     sample they want counted *)
+  let est =
+    Monitor.estimate_from_sample frag entry [ best.Cegis.summary ] big
+  in
+  check "estimate_from_sample counts what it is given" true
+    (est.Monitor.sample_size = Monitor.sample_k + 1000)
+
+let test_measured_estimator_defaults () =
+  let env = [ ("ws", words [ "a" ]); ("k", Value.Str "k") ] in
+  let src =
+    {|boolean f(List<String> ws, String k) {
+        boolean found = false;
+        for (String w : ws) { if (w.equals(k)) found = true; }
+        return found;
+      }|}
+  in
+  let _prog, frag, _best, entry = translated src env in
+  let est =
+    {
+      Monitor.guard_probs = [];
+      distinct_keys = 7.0;
+      sample_size = 0;
+    }
+  in
+  let e =
+    Monitor.measured_estimator frag entry est ~reduce_eps:(fun _ _ -> 1.0)
+  in
+  check "unguarded emits always fire" true
+    (e.Casper_cost.Cost.prob None = 1.0);
+  check "unseen guard falls back to 0.5" true
+    (e.Casper_cost.Cost.prob (Some (Ir.CBool true)) = 0.5);
+  check "distinct keys clamped to input count" true
+    (e.Casper_cost.Cost.distinct_keys ~n_in:3.0 = 3.0);
+  check "distinct keys use the measurement when it fits" true
+    (e.Casper_cost.Cost.distinct_keys ~n_in:100.0 = 7.0)
 
 let test_monitor_distinct_keys () =
   let sample =
@@ -381,6 +460,10 @@ let suite =
         Alcotest.test_case "distinct keys" `Quick test_monitor_distinct_keys;
         Alcotest.test_case "chooses cheapest" `Quick
           test_monitor_chooses_cheapest;
+        Alcotest.test_case "sample capped at sample_k" `Quick
+          test_monitor_sample_cap;
+        Alcotest.test_case "measured estimator defaults" `Quick
+          test_measured_estimator_defaults;
       ] );
     ( "codegen.cacheopt",
       [

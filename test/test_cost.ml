@@ -123,6 +123,68 @@ let test_fig8_incomparable () =
   check "(c) wins at p=0" true (cost ~gp:0.0 sol_c < cost ~gp:0.0 sol_b);
   check "(b) wins at p=1" true (cost ~gp:1.0 sol_b < cost ~gp:1.0 sol_c)
 
+let test_untypeable_max_float () =
+  (* an ill-typed payload (bool arithmetic) must price the summary out
+     of contention, not crash the pruner *)
+  let bad_payload =
+    {
+      Ir.pipeline =
+        Ir.Map
+          ( Ir.Data "d",
+            mk_map (Ir.Var "w")
+              (Ir.Binop (Ir.Add, Ir.CBool true, Ir.CBool false)) );
+      bindings = [ ("o", Ir.Whole) ];
+    }
+  in
+  check "ill-typed payload -> max_float" true
+    (cost bad_payload = Float.max_float);
+  (* wrong lambda arity over a plain (untupled) source *)
+  let bad_arity =
+    {
+      Ir.pipeline =
+        Ir.Map
+          ( Ir.Data "d",
+            {
+              Ir.m_params = [ "a"; "b" ];
+              emits = [ { Ir.guard = None; payload = Ir.Val (Ir.Var "a") } ];
+            } );
+      bindings = [ ("o", Ir.Whole) ];
+    }
+  in
+  check "bad arity -> max_float" true (cost bad_arity = Float.max_float);
+  (* a typeable rival dominates the untypeable one, never the reverse *)
+  let good = keyed_bool () in
+  check "typeable dominates untypeable" true
+    (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps good bad_payload);
+  check "untypeable never dominates" true
+    (not
+       (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps bad_payload
+          good));
+  let survivors =
+    Cost.prune_dominated tenv record_ty card ~reduce_eps:ca_eps
+      [ (bad_payload, "bad"); (good, "good") ]
+  in
+  check "pruner drops the untypeable summary" true
+    (List.map snd survivors = [ "good" ])
+
+let test_dominance_corner_ties () =
+  (* dominance is strict: identical costs at both probability corners
+     must not let either solution disqualify the other *)
+  let g = Ir.Binop (Ir.Eq, Ir.Var "w", Ir.CStr "k") in
+  let a = keyed_bool ~guard:g () in
+  let b = keyed_bool ~guard:g () in
+  check "equal costs at p=0" true (cost ~gp:0.0 a = cost ~gp:0.0 b);
+  check "equal costs at p=1" true (cost ~gp:1.0 a = cost ~gp:1.0 b);
+  check "no self-dominance on ties" true
+    ((not (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps a b))
+    && not (Cost.dominates tenv record_ty card ~reduce_eps:ca_eps b a));
+  let survivors =
+    Cost.prune_dominated tenv record_ty card ~reduce_eps:ca_eps
+      [ (a, "a"); (b, "b") ]
+  in
+  check "ties both survive pruning" true
+    (List.map snd survivors = [ "a"; "b" ])
+
 let prop_cost_monotone_in_n =
   QCheck.Test.make ~name:"cost is monotone in N" ~count:50
     QCheck.(pair (int_range 1 100000) (int_range 1 100000))
@@ -147,6 +209,10 @@ let suite =
         Alcotest.test_case "prune dominated" `Quick test_prune_dominated;
         Alcotest.test_case "Fig 8d incomparability" `Quick
           test_fig8_incomparable;
+        Alcotest.test_case "untypeable summaries cost max_float" `Quick
+          test_untypeable_max_float;
+        Alcotest.test_case "dominance corners: ties are incomparable" `Quick
+          test_dominance_corner_ties;
       ] );
     ( "cost.props",
       List.map QCheck_alcotest.to_alcotest [ prop_cost_monotone_in_n ] );

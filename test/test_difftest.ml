@@ -120,6 +120,55 @@ let test_shrinker_keeps_failing_input_well_formed () =
     (Pp.program_to_string prog)
     (Pp.program_to_string small)
 
+(* ---------------- qcheck: tracing is transparent ---------------- *)
+
+module Obs = Casper_obs.Obs
+module Cegis = Casper_synth.Cegis
+module An = Casper_analysis.Analyze
+module F = Casper_analysis.Fragment
+
+let synth_config = { Cegis.default_config with Cegis.max_candidates = 60_000 }
+
+let stats_key (s : Cegis.stats) =
+  ( s.Cegis.candidates_tried, s.Cegis.cegis_iterations, s.Cegis.tp_failures,
+    s.Cegis.classes_explored, s.Cegis.timed_out )
+
+(* For any generated program: synthesis under a traced context (virtual
+   clock) yields a well-nested, non-empty span tree, and exactly the
+   same search outcome as the untraced run — observability must never
+   steer the pipeline. *)
+let qcheck_tracing_transparent =
+  QCheck.Test.make ~count:25
+    ~name:"tracing is inert and well-nested on generated programs"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000))
+    (fun seed ->
+      let g = Gen.program (Rng.create seed) in
+      let frags =
+        An.fragments_of_program g.Gen.prog ~suite:"difftest"
+          ~benchmark:g.Gen.shape
+      in
+      match List.filter (fun f -> f.F.unsupported = None) frags with
+      | [] -> true
+      | frag :: _ ->
+          let plain =
+            Cegis.find_summary ~config:synth_config g.Gen.prog frag
+          in
+          let obs =
+            Obs.create ~clock:(Obs.virtual_clock ~seed ()) ()
+          in
+          let traced =
+            Cegis.find_summary ~obs ~config:synth_config g.Gen.prog frag
+          in
+          Obs.well_formed obs
+          && Obs.tree obs <> []
+          && stats_key plain.Cegis.stats = stats_key traced.Cegis.stats
+          && List.map
+               (fun (s : Cegis.solution) -> s.Cegis.summary)
+               plain.Cegis.solutions
+             = List.map
+                 (fun (s : Cegis.solution) -> s.Cegis.summary)
+                 traced.Cegis.solutions)
+
 (* ---------------- suite ---------------- *)
 
 let suite =
@@ -145,4 +194,6 @@ let suite =
         Alcotest.test_case "irreducible input unchanged" `Quick
           test_shrinker_keeps_failing_input_well_formed;
       ] );
+    ( "difftest.obs",
+      [ QCheck_alcotest.to_alcotest qcheck_tracing_transparent ] );
   ]

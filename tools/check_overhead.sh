@@ -1,0 +1,52 @@
+#!/bin/sh
+# Observability overhead gate (DESIGN.md §9): instrumentation must stay
+# within budget on the Table 2 synthesis workload. Runs the synth_perf
+# bench RUNS times with tracing off and with tracing on, takes each
+# mode's best fast-path wall time (min-of-N absorbs scheduler noise,
+# which dwarfs the effect on a loaded CI machine), and fails if the
+# traced mode exceeds the untraced one by more than TOL percent.
+# Enabled tracing bounds disabled tracing from above: the untraced run
+# already carries every Obs call as a no-op, so passing this gate also
+# certifies the disabled-instrumentation <2% claim against the
+# pre-instrumentation BENCH_synth.json numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-3}"
+TOL="${TOL:-2.0}"
+BENCH="_build/default/bench/main.exe"
+
+if [ ! -x "$BENCH" ]; then
+  echo "bench/main.exe not built — run: dune build bench/main.exe" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+i=1
+while [ "$i" -le "$RUNS" ]; do
+  "$BENCH" --only synth_perf --json "$tmp/plain$i.json" > /dev/null
+  "$BENCH" --only synth_perf --json "$tmp/traced$i.json" \
+    --trace "$tmp/trace$i.json" > /dev/null
+  i=$((i + 1))
+done
+
+python3 - "$tmp" "$RUNS" "$TOL" << 'EOF'
+import json, sys
+
+tmp, runs, tol = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+
+def best(kind):
+    return min(
+        json.load(open("%s/%s%d.json" % (tmp, kind, i)))["synth"]["fast_total_s"]
+        for i in range(1, runs + 1)
+    )
+
+plain, traced = best("plain"), best("traced")
+overhead = 100.0 * (traced / plain - 1.0)
+print("fast-path wall time: untraced %.3fs, traced %.3fs, overhead %+.2f%% "
+      "(budget %.1f%%)" % (plain, traced, overhead, tol))
+sys.exit(0 if overhead < tol else 1)
+EOF
