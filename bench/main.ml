@@ -26,6 +26,7 @@ module Stats = Casper_common.Stats
 module J = Casper_common.Jsonout
 module Fastpath = Casper_ir.Fastpath
 module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
 open Util
 
 (* --trace: the run's observability context. Disabled (all no-ops)
@@ -1169,6 +1170,127 @@ let synth_perf () =
         | _ -> []))
 
 (* ------------------------------------------------------------------ *)
+(* Multicore runtime: domain-pool scaling                               *)
+
+(** The same synthesis + engine workload on 1/2/4-domain pools.
+
+    Two claims, measured separately: determinism (outputs, summaries
+    and search accounting are byte-identical at every pool size — a
+    hard failure if not) and scaling (wall time per pool size, reported
+    honestly: on a single-core host the speedup is ≈1×, and the JSON
+    records [recommended_domains] so readers can tell). Results land in
+    [BENCH_par.json]. *)
+let par_scaling () =
+  section "Multicore runtime: domain-pool scaling (jobs = 1 / 2 / 4)";
+  let jobs_list = [ 1; 2; 4 ] in
+  let synth_benches = [ "WordCount"; "Sum"; "StringMatch" ] in
+  let words =
+    let rng = Rng.create 11 in
+    Value.as_list (Casper_suites.Workload.words rng ~n:20_000 ~vocab:400 ~skew:1.1)
+  in
+  let wc_plan =
+    Plan.(
+      data "words"
+      |>> map_to_pair (fun w -> (w, Value.Int 1))
+      |>> reduce_by_key ~comm_assoc:true (fun a b ->
+              Value.Int (Value.as_int a + Value.as_int b)))
+  in
+  let engine_reps = 5 in
+  let run_at jobs =
+    Par.with_pool ~jobs @@ fun pool ->
+    let t0 = Obs.wall_clock () in
+    let outcomes =
+      List.concat_map
+        (fun name ->
+          let b = Casper_suites.Registry.find_benchmark name in
+          let prog = Minijava.Parser.parse_program b.source in
+          Casper_analysis.Analyze.fragments_of_program prog ~suite:b.suite
+            ~benchmark:b.name
+          |> List.filter_map (fun (f : F.t) ->
+                 if f.F.unsupported = None then
+                   Some (Cegis.find_summary ~config:bench_config ~pool prog f)
+                 else None))
+        synth_benches
+    in
+    let synth_s = Obs.wall_clock () -. t0 in
+    let t1 = Obs.wall_clock () in
+    let runs =
+      List.init engine_reps (fun _ ->
+          Engine.run_plan ~pool ~cluster:Cluster.spark
+            ~datasets:[ ("words", words) ] wc_plan)
+    in
+    let engine_s = Obs.wall_clock () -. t1 in
+    (* pool-size-independent fingerprint: everything but wall times *)
+    let fingerprint =
+      ( List.map
+          (fun (o : Cegis.outcome) ->
+            ( List.map
+                (fun (s : Cegis.solution) ->
+                  (s.Cegis.summary, s.klass, s.comm_assoc, s.static_cost))
+                o.Cegis.solutions,
+              o.Cegis.stats.Cegis.candidates_tried,
+              o.Cegis.stats.Cegis.cegis_iterations,
+              o.Cegis.stats.Cegis.tp_failures,
+              o.Cegis.stats.Cegis.classes_explored,
+              o.Cegis.stats.Cegis.timed_out ))
+          outcomes,
+        List.map
+          (fun (r : Engine.run) -> (r.Engine.output, r.Engine.stages))
+          runs )
+    in
+    (fingerprint, synth_s, engine_s)
+  in
+  let results = List.map (fun j -> (j, run_at j)) jobs_list in
+  let (fp1, base_synth, base_engine) = List.assoc 1 results in
+  let identical =
+    List.for_all (fun (_, (fp, _, _)) -> fp = fp1) results
+  in
+  if not identical then
+    failwith "par_scaling: outputs differ across pool sizes";
+  let base_total = base_synth +. base_engine in
+  T.print
+    ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([ "jobs"; "synth (s)"; "engine (s)"; "total (s)"; "speedup" ]
+    :: List.map
+         (fun (j, (_, ss, es)) ->
+           [
+             string_of_int j;
+             T.f ~digits:2 ss;
+             T.f ~digits:2 es;
+             T.f ~digits:2 (ss +. es);
+             T.fx (base_total /. (ss +. es));
+           ])
+         results);
+  Fmt.pr
+    "@.outputs byte-identical across pool sizes: yes (%d searches, %d \
+     engine runs)@.host recommended domains: %d@."
+    (let (fps, _) = fp1 in
+     List.length fps)
+    engine_reps
+    (Domain.recommended_domain_count ());
+  J.write_file "BENCH_par.json"
+    (J.Obj
+       [
+         ("schema", J.Str "casper-bench-par/v1");
+         ("identical_outputs", J.Bool identical);
+         ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+         ( "runs",
+           J.List
+             (List.map
+                (fun (j, (_, ss, es)) ->
+                  J.Obj
+                    [
+                      ("jobs", J.Int j);
+                      ("synth_wall_s", J.Float ss);
+                      ("engine_wall_s", J.Float es);
+                      ("total_wall_s", J.Float (ss +. es));
+                      ("speedup_vs_jobs1", J.Float (base_total /. (ss +. es)));
+                    ])
+                results) );
+       ]);
+  Fmt.pr "wrote BENCH_par.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 
 let micro () =
@@ -1240,6 +1362,7 @@ let sections_list =
     ("table5", table5_extensibility);
     ("fault_tolerance", fault_tolerance);
     ("synth_perf", synth_perf);
+    ("par_scaling", par_scaling);
     ("micro", micro);
   ]
 
@@ -1262,11 +1385,22 @@ let () =
      | [] -> ()
    in
    find argv);
+  (* sizes the global pool used by sections that don't build their own;
+     par_scaling builds its own 1/2/4-domain pools regardless *)
+  (let rec find = function
+     | "--jobs" :: v :: _ -> (
+         match int_of_string_opt v with
+         | Some n when n >= 1 -> Par.set_jobs n
+         | _ -> Fmt.epr "ignoring bad --jobs %S@." v)
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find argv);
   if List.mem "--no-opt" argv then begin
     cli_no_opt := true;
     (* disable the synthesis fast path for the whole run, not just the
        synth_perf comparison *)
-    Fastpath.enabled := false
+    Fastpath.set_enabled false
   end;
   let json_path =
     let rec find = function

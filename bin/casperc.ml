@@ -76,7 +76,8 @@ let execute_traced (obs : Obs.ctx) (report : Casper.report) : unit =
     report.Casper.translations
 
 let compile_file path target verbose summaries_only analysis_only budget trace
-    =
+    jobs =
+  Option.iter Casper_par.Par.set_jobs jobs;
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -213,12 +214,21 @@ let trace_arg =
               in Chrome trace_event JSON; a flat metrics JSON lands next to \
               it. Open the trace at chrome://tracing or ui.perfetto.dev.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Size of the domain pool used for synthesis and simulated \
+              execution (default: \\$CASPER_JOBS, else 1). Results are \
+              byte-identical at any value.")
+
 let cmd =
   let doc = "translate sequential Java loop nests into MapReduce programs" in
   Cmd.v
     (Cmd.info "casperc" ~version:"1.0.0" ~doc)
     Term.(
       const compile_file $ path_arg $ target_arg $ verbose_arg
-      $ summaries_arg $ analysis_arg $ budget_arg $ trace_arg)
+      $ summaries_arg $ analysis_arg $ budget_arg $ trace_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,7 +30,8 @@ let print_failure (fl : Difftest.Harness.failure) =
   | Some src -> Fmt.pr "--- minimized ---@.%s@." src
   | None -> ()
 
-let run seed count backend minimize corpus out budget =
+let run seed count backend minimize corpus out budget jobs =
+  Option.iter Casper_par.Par.set_jobs jobs;
   match backends_of backend with
   | Error m ->
       Fmt.epr "%s@." m;
@@ -124,12 +125,21 @@ let budget_arg =
     value & opt int 60_000
     & info [ "budget" ] ~docv:"N" ~doc:"Synthesis candidate budget.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Domain-pool size: programs are checked in parallel waves of \
+              4×$(docv) (default: \\$CASPER_JOBS, else 1). The campaign \
+              report is byte-identical at any value.")
+
 let cmd =
   let doc = "differential fuzzing of the Casper pipeline" in
   Cmd.v
     (Cmd.info "difftest" ~version:"1.0.0" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ backend_arg $ minimize_arg
-      $ corpus_arg $ out_arg $ budget_arg)
+      $ corpus_arg $ out_arg $ budget_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

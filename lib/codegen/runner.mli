@@ -21,10 +21,11 @@ val datasets_of :
   Minijava.Interp.env ->
   (string * Value.t list) list
 
-(** Execute one verified summary for a fragment. [obs] is forwarded to
-    {!Mapreduce.Engine.run_plan}. *)
+(** Execute one verified summary for a fragment. [obs] and [pool] are
+    forwarded to {!Mapreduce.Engine.run_plan}. *)
 val run_summary :
   ?obs:Casper_obs.Obs.ctx ->
+  ?pool:Casper_par.Par.pool ->
   cluster:Mapreduce.Cluster.t ->
   scale:float ->
   Minijava.Ast.program ->

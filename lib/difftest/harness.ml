@@ -10,6 +10,8 @@
     oracle, which is how past reproducers stay fixed in tier-1. *)
 
 module Rng = Casper_common.Rng
+module Memo = Casper_ir.Memo
+module Par = Casper_par.Par
 
 type failure = {
   index : int;  (** campaign index: replay with the same seed *)
@@ -36,46 +38,79 @@ let still_fails cfg ~name p =
   | Oracle.Diverged _ -> true
   | Oracle.Translated _ | Oracle.Skipped _ -> false
 
-(** Run [count] generated programs through the oracle. *)
-let run_campaign ?(log = ignore) ?config ?(shrink_budget = 150)
+(** Run [count] generated programs through the oracle.
+
+    With a multi-domain [pool] (default {!Casper_par.Par.global}),
+    programs are generated sequentially from the campaign rng — program
+    [i] of campaign [seed] is the same at any pool size — then checked
+    concurrently in waves of [4 × pool size], and the wave's verdicts
+    are folded into the report in index order. A program's verdict is
+    independent of every other program's (the oracle's caches are
+    domain-local and outcome-transparent), so the report — counts, skip
+    reasons, failures, log lines — is byte-identical at any pool size.
+    Shrinking runs on the submitting domain, off the critical path. *)
+let run_campaign ?(log = ignore) ?config ?(shrink_budget = 150) ?pool
     ~(seed : int) ~(count : int) ~(minimize : bool) () : report =
   let cfg =
     match config with Some c -> c | None -> Oracle.default_config ~seed ()
   in
+  let pool = match pool with Some p -> p | None -> Par.global () in
   let rng = Rng.create seed in
   let translated = ref 0 in
   let skipped = ref 0 in
   let skip_reasons = ref [] in
   let failures = ref [] in
-  for index = 0 to count - 1 do
-    let g = Gen.program rng in
-    let name = Fmt.str "%s-%d" g.Gen.shape index in
-    (match Oracle.check_parsed cfg ~name g.Gen.prog with
-    | Oracle.Translated _ -> incr translated
-    | Oracle.Skipped reason ->
-        incr skipped;
-        skip_reasons := bump !skip_reasons reason
-    | Oracle.Diverged d ->
-        log (Fmt.str "[%d] DIVERGENCE (%s) at stage %s" index g.Gen.shape
-               d.Oracle.stage);
-        let minimized =
-          if minimize then begin
-            let small =
-              Shrink.minimize ~budget:shrink_budget
-                ~still_fails:(still_fails cfg ~name)
-                (Minijava.Parser.parse_program d.Oracle.source)
+  let wave_size = max 1 (4 * Par.size pool) in
+  let index = ref 0 in
+  while !index < count do
+    let n = min wave_size (count - !index) in
+    (* generation order must not depend on the pool: draw the whole wave
+       from the rng before dispatching *)
+    let wave = ref [] in
+    for k = 0 to n - 1 do
+      wave := (!index + k, Gen.program rng) :: !wave
+    done;
+    let wave = List.rev !wave in
+    index := !index + n;
+    let verdicts =
+      Par.parallel_map pool
+        (fun (i, g) ->
+          Memo.sync_shard ();
+          let name = Fmt.str "%s-%d" g.Gen.shape i in
+          (i, g, Oracle.check_parsed cfg ~name g.Gen.prog))
+        wave
+    in
+    List.iter
+      (fun (i, g, verdict) ->
+        (match verdict with
+        | Oracle.Translated _ -> incr translated
+        | Oracle.Skipped reason ->
+            incr skipped;
+            skip_reasons := bump !skip_reasons reason
+        | Oracle.Diverged d ->
+            log (Fmt.str "[%d] DIVERGENCE (%s) at stage %s" i g.Gen.shape
+                   d.Oracle.stage);
+            let name = Fmt.str "%s-%d" g.Gen.shape i in
+            let minimized =
+              if minimize then begin
+                let small =
+                  Shrink.minimize ~budget:shrink_budget
+                    ~still_fails:(still_fails cfg ~name)
+                    (Minijava.Parser.parse_program d.Oracle.source)
+                in
+                Some (Minijava.Pp.program_to_string small)
+              end
+              else None
             in
-            Some (Minijava.Pp.program_to_string small)
-          end
-          else None
-        in
-        failures :=
-          { index; shape = g.Gen.shape; divergence = d; minimized }
-          :: !failures);
-    if (index + 1) mod 25 = 0 then
-      log
-        (Fmt.str "%d/%d checked (%d translated, %d skipped, %d divergent)"
-           (index + 1) count !translated !skipped (List.length !failures))
+            failures :=
+              { index = i; shape = g.Gen.shape; divergence = d; minimized }
+              :: !failures);
+        if (i + 1) mod 25 = 0 then
+          log
+            (Fmt.str
+               "%d/%d checked (%d translated, %d skipped, %d divergent)"
+               (i + 1) count !translated !skipped (List.length !failures)))
+      verdicts
   done;
   {
     total = count;

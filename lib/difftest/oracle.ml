@@ -31,6 +31,7 @@ module Cluster = Mapreduce.Cluster
 module Fastpath = Casper_ir.Fastpath
 module Value = Casper_common.Value
 module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
 open Minijava
 
 type config = {
@@ -44,6 +45,13 @@ type config = {
   check_fastpath : bool;
       (** run synthesis twice (fast path off / on) and require
           bit-identical search statistics and solutions *)
+  check_parallel : int option;
+      (** [Some n]: re-run synthesis on an [n]-domain pool and the
+          engine at pool sizes 1 and [n], requiring byte-identical
+          solutions, stats, outputs and volume accounting (the
+          multicore-runtime determinism contract, DESIGN.md §10).
+          Inside a pool worker the nested runs execute inline, so the
+          stage degrades to a sequential self-comparison there. *)
 }
 
 let default_config ?(seed = 0) () =
@@ -59,6 +67,7 @@ let default_config ?(seed = 0) () =
     input_seed = seed;
     synth = { Cegis.default_config with Cegis.max_candidates = 60_000 };
     check_fastpath = true;
+    check_parallel = Some 4;
   }
 
 type divergence = {
@@ -180,6 +189,34 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
           fail "obs" "synthesis left unclosed spans on the trace stack";
         if Obs.tree obs = [] then
           fail "obs" "traced synthesis recorded no spans";
+        (* ---- parallel-vs-sequential: the same search on an n-domain
+           pool must produce byte-identical solutions and stats ---- *)
+        (match cfg.check_parallel with
+        | Some n ->
+            let par_outcome =
+              Par.with_pool ~jobs:n @@ fun pool ->
+              let run () =
+                Cegis.find_summary ~config:cfg.synth ~pool prog frag
+              in
+              if cfg.check_fastpath then Fastpath.with_enabled true run
+              else run ()
+            in
+            if not (stats_equal outcome.Cegis.stats par_outcome.Cegis.stats)
+            then
+              fail "parallel"
+                "search stats differ at jobs=%d vs sequential (tried %d vs \
+                 %d, iterations %d vs %d)"
+                n outcome.Cegis.stats.Cegis.candidates_tried
+                par_outcome.Cegis.stats.Cegis.candidates_tried
+                outcome.Cegis.stats.Cegis.cegis_iterations
+                par_outcome.Cegis.stats.Cegis.cegis_iterations;
+            if
+              not
+                (solutions_equal outcome.Cegis.solutions
+                   par_outcome.Cegis.solutions)
+            then
+              fail "parallel" "solutions differ at jobs=%d vs sequential" n
+        | None -> ());
         match outcome.Cegis.solutions with
         | [] ->
             Skipped
@@ -257,6 +294,44 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
                        deterministic, completion finite *)
                     let t = Compile.compile prog frag entry summary in
                     let datasets = Runner.datasets_of prog frag entry in
+                    (* parallel-vs-sequential engine execution: outputs
+                       and per-stage volume accounting must be
+                       byte-identical at pool sizes 1 and n (first state
+                       only — the engine path is state-independent) *)
+                    (match cfg.check_parallel with
+                    | Some n when ei = 0 ->
+                        Par.with_pool ~jobs:1 (fun p1 ->
+                            Par.with_pool ~jobs:n (fun pn ->
+                                List.iter
+                                  (fun (cluster : Cluster.t) ->
+                                    let r1 =
+                                      Engine.run_plan ~pool:p1 ~cluster
+                                        ~datasets t.Compile.plan
+                                    in
+                                    let rn =
+                                      Engine.run_plan ~pool:pn ~cluster
+                                        ~datasets t.Compile.plan
+                                    in
+                                    if
+                                      rn.Mapreduce.Engine.output
+                                      <> r1.Mapreduce.Engine.output
+                                    then
+                                      fail
+                                        ("parallel:" ^ cluster.Cluster.name)
+                                        "engine outputs differ at jobs=%d \
+                                         vs jobs=1"
+                                        n;
+                                    if
+                                      rn.Mapreduce.Engine.stages
+                                      <> r1.Mapreduce.Engine.stages
+                                    then
+                                      fail
+                                        ("parallel:" ^ cluster.Cluster.name)
+                                        "stage accounting differs at \
+                                         jobs=%d vs jobs=1"
+                                        n)
+                                  cfg.backends))
+                    | _ -> ());
                     List.iter
                       (fun profile ->
                         let sched =

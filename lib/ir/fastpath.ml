@@ -10,14 +10,23 @@
     callers: the equivalence tests and the [synth_perf] bench section's
     speedup comparison. *)
 
-let enabled = ref true
+(* Domain-local: each domain (the main one, and every pool worker
+   running searches concurrently) toggles its own switch, so a baseline
+   run on one domain cannot turn caches off under a fast-path run on
+   another. Fresh domains start enabled — the default mode. *)
+let enabled_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref true)
 
-(** Run [f ()] with the fast path forced to [b], restoring the previous
-    setting afterwards (also on exceptions). *)
+let enabled () = !(Domain.DLS.get enabled_key)
+let set_enabled b = Domain.DLS.get enabled_key := b
+
+(** Run [f ()] with the calling domain's fast path forced to [b],
+    restoring the previous setting afterwards (also on exceptions). *)
 let with_enabled b f =
-  let saved = !enabled in
-  enabled := b;
-  Fun.protect ~finally:(fun () -> enabled := saved) f
+  let r = Domain.DLS.get enabled_key in
+  let saved = !r in
+  r := b;
+  Fun.protect ~finally:(fun () -> r := saved) f
 
 (** Cache-effectiveness counters, reported by the bench harness. All are
     cumulative; [reset] zeroes them. *)

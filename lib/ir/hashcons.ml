@@ -10,6 +10,16 @@
     candidate from, so no candidate is ever deep-hashed or
     pretty-printed on the fast path.
 
+    Domain-safety: all interner state is a per-domain shard
+    ([Domain.DLS]), so ids are only meaningful within the domain that
+    interned them — which is exactly how they are used: every id-keyed
+    cache (memoized evaluation, fingerprints, verdicts, the blocked set)
+    lives in the same domain as the interner that produced its keys.
+    Nothing is shared, so nothing needs a lock, and the single-domain
+    fast path pays only a [Domain.DLS.get] (an array read) per intern.
+    See DESIGN.md §10 for why sharding was chosen over a shared atomic
+    table.
+
     Interning uses structural equality over a deep polymorphic hash
     ([Hashtbl.hash] only examines ~10 nodes, which would collapse every
     candidate sharing a pipeline prefix into one bucket). Float corner
@@ -19,10 +29,10 @@
     results are unaffected (and no MiniJava suite produces NaN
     literals).
 
-    [clear] empties the tables (called at the top of each
-    [find_summary] so memory stays bounded by one fragment's search) but
-    never reuses ids: counters are monotonic, so a stale id can never
-    collide with a post-clear one. *)
+    [clear] empties the calling domain's tables (called at the top of
+    each [find_summary] so memory stays bounded by one fragment's
+    search) but never reuses ids: counters are monotonic per domain, so
+    a stale id can never collide with a post-clear one. *)
 
 module type INTERNABLE = sig
   type t
@@ -40,22 +50,26 @@ module Interner (T : INTERNABLE) = struct
     let hash = T.hash
   end)
 
+  type shard = { tbl : (T.t * int) Tbl.t; mutable next : int }
+
   (* sized for one fragment's search (≈10⁵–10⁶ distinct candidates):
      growing from a small table would rehash every entry ~10 times.
      [Hashtbl.reset] keeps this initial capacity. *)
-  let tbl : (T.t * int) Tbl.t = Tbl.create 131072
-  let next = ref 0
+  let shard : shard Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { tbl = Tbl.create 131072; next = 0 })
 
-  let clear () = Tbl.reset tbl
+  let clear () = Tbl.reset (Domain.DLS.get shard).tbl
 
-  (** Canonical representative and id of [x]'s structural class. *)
+  (** Canonical representative and id of [x]'s structural class, in the
+      calling domain's shard. *)
   let intern (x : T.t) : T.t * int =
-    match Tbl.find_opt tbl x with
+    let s = Domain.DLS.get shard in
+    match Tbl.find_opt s.tbl x with
     | Some entry -> entry
     | None ->
-        let i = !next in
-        incr next;
-        Tbl.add tbl x (x, i);
+        let i = s.next in
+        s.next <- i + 1;
+        Tbl.add s.tbl x (x, i);
         (x, i)
 end
 
@@ -134,42 +148,55 @@ let rec intern_deep (e : Lang.expr) : Lang.expr =
    are injective: expression ids are bijective with interned
    expressions, the sentinel slots (-1 no guard, -2 value payload)
    cannot collide with real ids, and each shape uses a distinct leading
-   tag with a fixed component layout. *)
+   tag with a fixed component layout. Per-domain like the interners. *)
 
-let emit_tbl : (int * int * int, int) Hashtbl.t = Hashtbl.create 8192
-let emit_next = ref 0
+type key_shard = {
+  emit_tbl : (int * int * int, int) Hashtbl.t;
+  mutable emit_next : int;
+  key_tbl : (int list, int) Hashtbl.t;
+  mutable key_next : int;
+}
+
+(* sized like the interners: one entry per distinct candidate of a
+   fragment's search *)
+let key_shard : key_shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        emit_tbl = Hashtbl.create 8192;
+        emit_next = 0;
+        key_tbl = Hashtbl.create 131072;
+        key_next = 0;
+      })
 
 let emit_id ({ guard; payload } : Lang.emit) : int =
+  let s = Domain.DLS.get key_shard in
   let gid = match guard with None -> -1 | Some g -> expr_id g in
   let triple =
     match payload with
     | Lang.KV (k, v) -> (gid, expr_id k, expr_id v)
     | Lang.Val v -> (gid, -2, expr_id v)
   in
-  match Hashtbl.find_opt emit_tbl triple with
+  match Hashtbl.find_opt s.emit_tbl triple with
   | Some i -> i
   | None ->
-      let i = !emit_next in
-      incr emit_next;
-      Hashtbl.add emit_tbl triple i;
+      let i = s.emit_next in
+      s.emit_next <- i + 1;
+      Hashtbl.add s.emit_tbl triple i;
       i
 
-(* sized like the interners: one entry per distinct candidate of a
-   fragment's search *)
-let key_tbl : (int list, int) Hashtbl.t = Hashtbl.create 131072
-let key_next = ref 0
-
 let key_of (components : int list) : int =
-  match Hashtbl.find_opt key_tbl components with
+  let s = Domain.DLS.get key_shard in
+  match Hashtbl.find_opt s.key_tbl components with
   | Some i -> i
   | None ->
-      let i = !key_next in
-      incr key_next;
-      Hashtbl.add key_tbl components i;
+      let i = s.key_next in
+      s.key_next <- i + 1;
+      Hashtbl.add s.key_tbl components i;
       i
 
 let clear () =
   E.clear ();
   S.clear ();
-  Hashtbl.reset emit_tbl;
-  Hashtbl.reset key_tbl
+  let s = Domain.DLS.get key_shard in
+  Hashtbl.reset s.emit_tbl;
+  Hashtbl.reset s.key_tbl

@@ -22,7 +22,17 @@
       pays exactly the pre-fast-path string costs. Both keys partition
       expressions by the same printed-value sequences, so dedup keeps
       the same representatives in the same order in both modes (the
-      equivalence tests enforce this end to end). *)
+      equivalence tests enforce this end to end).
+
+    Domain-safety (DESIGN.md §10): every memo table is a per-domain
+    shard ([Domain.DLS]), consistent with the per-domain hash-consing it
+    is keyed by. Env ids come from one process-wide [Atomic] counter, so
+    an environment wrapped on the main domain and evaluated inside a
+    pool worker can never alias a worker-local wrap. [clear] (top of
+    every [find_summary]) resets the calling domain's shard and bumps a
+    global generation; pool tasks call [sync_shard] on entry, which
+    resets their domain's stale shard once per generation — caches never
+    leak results across searches, and never across domains. *)
 
 module Value = Casper_common.Value
 module Library = Casper_common.Library
@@ -30,17 +40,83 @@ open Lang
 
 type cenv = { env_id : int; env : Eval.env }
 
-let env_counter = ref 0
+(* process-wide: env ids must be unique across domains because a cenv
+   wrapped on one domain is evaluated (and cached under its id) on
+   others *)
+let env_counter = Atomic.make 0
 
 let wrap (env : Eval.env) : cenv =
-  incr env_counter;
-  { env_id = !env_counter; env }
+  { env_id = Atomic.fetch_and_add env_counter 1 + 1; env }
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain memo shard                                               *)
+
+type shard = {
+  eval_tbl : (int, (Value.t, exn) result) Hashtbl.t;
+  str_ids : (string, int) Hashtbl.t;
+  mutable str_next : int;
+  elt_envs_tbl : (int * string * string list, elt_cache) Hashtbl.t;
+  emit_fp : (int * int * int, int array) Hashtbl.t;
+  mutable gen : int;
+}
+
+and elt_cache = {
+  mutable ec_elts : Value.t list;
+  mutable ec_envs : cenv array;
+}
+
+(* bumped by [clear]; worker shards catch up in [sync_shard] *)
+let generation = Atomic.make 0
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        eval_tbl = Hashtbl.create 262144;
+        str_ids = Hashtbl.create 4096;
+        str_next = 0;
+        elt_envs_tbl = Hashtbl.create 256;
+        emit_fp = Hashtbl.create 32768;
+        gen = Atomic.get generation;
+      })
+
+let shard () : shard = Domain.DLS.get shard_key
+
+let reset_shard (sh : shard) : unit =
+  Hashtbl.reset sh.eval_tbl;
+  Hashtbl.reset sh.str_ids;
+  Hashtbl.reset sh.elt_envs_tbl;
+  Hashtbl.reset sh.emit_fp;
+  Hashcons.clear ()
+
+(** Catch the calling domain's shard up to the latest [clear]
+    generation. Pool tasks that evaluate through the memo layer call
+    this on entry, so a worker that served a previous search starts the
+    new one with empty tables (id counters are monotonic, so even
+    without the reset stale entries could never alias — this bounds
+    memory to one search per domain, like [clear] does on the main
+    domain). *)
+let sync_shard () : unit =
+  let sh = shard () in
+  let g = Atomic.get generation in
+  if sh.gen <> g then begin
+    reset_shard sh;
+    sh.gen <- g
+  end
+
+(** Fast-path cache of emit fingerprints, keyed by the interned ids of
+    the emit's components: [(guard, key, value)] for key-value payloads,
+    [(guard, -2, value)] for plain values, with [-1] for a missing
+    guard. Every grammar class re-proposes the same component
+    combinations from grown pools; their observed behaviour cannot
+    change within one fragment search, so the 2-cells-per-probe
+    evaluation runs once per combination instead of once per class.
+    Cleared by {!clear} together with the interners — stale ids can
+    never collide because id counters are monotonic. *)
+let emit_fp_tbl () : (int * int * int, int array) Hashtbl.t =
+  (shard ()).emit_fp
 
 (* ------------------------------------------------------------------ *)
 (* Memoized evaluation                                                 *)
-
-let eval_tbl : (int, (Value.t, exn) result) Hashtbl.t =
-  Hashtbl.create 262144
 
 let c = Fastpath.counters
 
@@ -61,6 +137,7 @@ let rec meval (cv : cenv) (e : expr) : Value.t =
       | Some x -> x
       | None -> Eval.err "unbound IR variable %s" v)
   | _ -> (
+      let eval_tbl = (shard ()).eval_tbl in
       let key = key (Hashcons.expr_id e) cv.env_id in
       match Hashtbl.find_opt eval_tbl key with
       | Some (Ok v) ->
@@ -121,23 +198,21 @@ and step (cv : cenv) (e : expr) : Value.t =
 (** Evaluate [e] in [cv], memoized when the fast path is on. Raises
     exactly what {!Eval.eval_expr} raises. *)
 let eval (cv : cenv) (e : expr) : Value.t =
-  if !Fastpath.enabled then meval cv e else Eval.eval_expr cv.env e
+  if (Fastpath.enabled ()) then meval cv e else Eval.eval_expr cv.env e
 
 (* ------------------------------------------------------------------ *)
 (* Fingerprint cells                                                   *)
 
 (* printed value -> small id; the id space is shared by every dedup
-   table so fingerprints are plain int arrays *)
-let str_ids : (string, int) Hashtbl.t = Hashtbl.create 4096
-let str_next = ref 0
-
+   table of one domain so fingerprints are plain int arrays *)
 let id_of_string (s : string) : int =
-  match Hashtbl.find_opt str_ids s with
+  let sh = shard () in
+  match Hashtbl.find_opt sh.str_ids s with
   | Some i -> i
   | None ->
-      let i = !str_next in
-      incr str_next;
-      Hashtbl.add str_ids s i;
+      let i = sh.str_next in
+      sh.str_next <- i + 1;
+      Hashtbl.add sh.str_ids s i;
       i
 
 (* printed form of one fingerprint cell; ["#err"] on any evaluation
@@ -171,23 +246,11 @@ type fp = Ids of int array | Text of string
 
 (** Observational fingerprint of an expression over a probe set. *)
 let fingerprint (cprobes : cenv list) (e : expr) : fp =
-  if !Fastpath.enabled then (
+  if (Fastpath.enabled ()) then (
     let a = Array.make (List.length cprobes) 0 in
     List.iteri (fun i cv -> a.(i) <- value_id cv e) cprobes;
     Ids a)
   else Text (String.concat "|" (List.map (fun cv -> cell_str cv e) cprobes))
-
-(** Fast-path cache of emit fingerprints, keyed by the interned ids of
-    the emit's components: [(guard, key, value)] for key-value payloads,
-    [(guard, -2, value)] for plain values, with [-1] for a missing
-    guard. Every grammar class re-proposes the same component
-    combinations from grown pools; their observed behaviour cannot
-    change within one fragment search, so the 2-cells-per-probe
-    evaluation runs once per combination instead of once per class.
-    Cleared by {!clear} together with the interners — stale ids can
-    never collide because id counters are monotonic. *)
-let emit_fp_tbl : (int * int * int, int array) Hashtbl.t =
-  Hashtbl.create 32768
 
 (** Hash table keyed by fingerprints. The generic hash only examines ~10
     values; id arrays over up to 48 probes need every slot hashed or
@@ -220,17 +283,9 @@ end)
    element (bindings are materialized per state, not per candidate);
    both collapse to the same [Invalid_summary]/[Ir_error] treatment. *)
 
-type elt_cache = {
-  mutable ec_elts : Value.t list;
-  mutable ec_envs : cenv array;
-}
-
 (* (base env id, dataset, λm params) -> element envs; prefixes of one
    state share element values physically, so prefix k + 1 extends the
    cached array instead of rebinding elements 0..k *)
-let elt_envs_tbl : (int * string * string list, elt_cache) Hashtbl.t =
-  Hashtbl.create 256
-
 let rec phys_prefix (xs : Value.t list) (ys : Value.t list) : bool =
   match (xs, ys) with
   | [], _ -> true
@@ -239,6 +294,7 @@ let rec phys_prefix (xs : Value.t list) (ys : Value.t list) : bool =
 
 let map_elt_envs (base : cenv) (d : string) (params : string list)
     (elts : Value.t list) : cenv array =
+  let elt_envs_tbl = (shard ()).elt_envs_tbl in
   let tkey = (base.env_id, d, params) in
   let build (prev : cenv array) : cenv array =
     let m = Array.length prev in
@@ -354,19 +410,19 @@ let rec eval_node_m (base : cenv) (datasets : (string * Value.t list) list)
 let apply_summary (base : cenv) (datasets : (string * Value.t list) list)
     (init : Eval.env) (shapes : (string * Eval.out_shape) list)
     (s : summary) : Eval.env =
-  if not !Fastpath.enabled then
+  if not (Fastpath.enabled ()) then
     Eval.apply_summary base.env datasets init shapes s
   else Eval.extract_outputs (eval_node_m base datasets s.pipeline) init shapes s
 
 (* ------------------------------------------------------------------ *)
 
-(** Drop every memo table (evaluations, fingerprint cells, element
-    environments, interned expressions and summaries). Called at the top
-    of [find_summary] so memory is bounded by one fragment's search; env
-    ids keep counting so stale ids can never collide. *)
+(** Drop the calling domain's memo tables (evaluations, fingerprint
+    cells, element environments, interned expressions and summaries) and
+    bump the generation that pool-worker shards sync against. Called at
+    the top of [find_summary] so memory is bounded by one fragment's
+    search; env ids keep counting so stale ids can never collide. *)
 let clear () =
-  Hashtbl.reset eval_tbl;
-  Hashtbl.reset str_ids;
-  Hashtbl.reset elt_envs_tbl;
-  Hashtbl.reset emit_fp_tbl;
-  Hashcons.clear ()
+  Atomic.incr generation;
+  let sh = shard () in
+  reset_shard sh;
+  sh.gen <- Atomic.get generation

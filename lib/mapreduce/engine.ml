@@ -16,6 +16,7 @@
 module Value = Casper_common.Value
 module Multiset = Casper_common.Multiset
 module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
 
 exception Engine_error of string
 
@@ -98,8 +99,9 @@ let group_fold f records =
     (the plan's reads would silently resolve to whichever binding comes
     first) and when a shuffle stage runs on a cluster with no worker
     slots to partition across. *)
-let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
+let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
     ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+  let pool = match pool with Some p -> p | None -> Par.global () in
   Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
   @@ fun () ->
   let rec check_dup = function
@@ -122,6 +124,36 @@ let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
     | None -> err "unknown dataset %s" plan.Plan.source
   in
   let input_bytes = bytes_of input in
+  (* Record-level stage work runs on the pool, one task per contiguous
+     chunk; concatenating chunk results in submission order is exactly
+     the sequential result because the per-record functions are pure
+     (compiled λm/λr closures evaluate through the side-effect-free
+     [Eval]), so outputs — and the byte accounting derived from them —
+     are identical at any pool size. Each foreign-domain chunk is traced
+     on its own "domain-N" track; on the owner [Obs.domain_span] is a
+     no-op, so jobs=1 traces are unchanged. *)
+  let par_records (g : Value.t list -> Value.t list) (label : string)
+      (l : Value.t list) : Value.t list =
+    if Par.size pool = 1 || Par.on_worker () then g l
+    else
+      Par.parallel_map pool
+        (fun chunk ->
+          Obs.domain_span obs ~args:[ ("stage", label) ] "chunk" (fun () ->
+              g chunk))
+        (Par.chunks (2 * Par.size pool) l)
+      |> List.concat
+  in
+  (* per-partition combiner accounting: independent folds, one task per
+     partition, summed in partition order *)
+  let par_partition_sum (g : Value.t list -> int) (label : string)
+      (parts : Value.t list array) : int =
+    Par.parallel_map pool
+      (fun part ->
+        Obs.domain_span obs ~args:[ ("stage", label) ] "combine" (fun () ->
+            g part))
+      (Array.to_list parts)
+    |> List.fold_left ( + ) 0
+  in
   let nested_metrics = ref [] in
   let exec (current : Value.t list) (stage : Plan.stage) :
       Value.t list * stage_metrics =
@@ -141,15 +173,17 @@ let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
         } )
     in
     match stage with
-    | Plan.Flat_map { f; _ } -> mk (List.concat_map f current)
-    | Plan.Filter { p; _ } -> mk (List.filter p current)
+    | Plan.Flat_map { f; _ } ->
+        mk (par_records (List.concat_map f) (Plan.stage_label stage) current)
+    | Plan.Filter { p; _ } ->
+        mk (par_records (List.filter p) (Plan.stage_label stage) current)
     | Plan.Map_values { f; _ } ->
         mk
-          (List.map
-             (fun r ->
-               let k, v = as_kv r in
-               Value.Tuple [ k; f v ])
-             current)
+          (par_records
+             (List.map (fun r ->
+                  let k, v = as_kv r in
+                  Value.Tuple [ k; f v ]))
+             (Plan.stage_label stage) current)
     | Plan.Reduce_by_key { f; comm_assoc; _ } ->
         check_workers ();
         let out = group_fold f current in
@@ -159,9 +193,9 @@ let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
              per key, so the true bound is workers × combined output *)
           let parts = partition ~by_key:true cluster.Cluster.workers current in
           let shuffled =
-            Array.fold_left
-              (fun acc part -> acc + bytes_of (group_fold f part))
-              0 parts
+            par_partition_sum
+              (fun part -> bytes_of (group_fold f part))
+              (Plan.stage_label stage) parts
           in
           let cap = cluster.Cluster.workers * bytes_of out in
           mk ~shuffled ~is_shuffle:true ~cap out
@@ -183,20 +217,20 @@ let rec run_plan ?sched ?(obs = Obs.null) ~(cluster : Cluster.t)
               (* one partial per worker crosses the network *)
               let parts = partition cluster.Cluster.workers current in
               let shuffled =
-                Array.fold_left
-                  (fun acc part ->
+                par_partition_sum
+                  (fun part ->
                     match part with
-                    | [] -> acc
+                    | [] -> 0
                     | p0 :: prest ->
-                        acc + Value.size_of (List.fold_left f p0 prest))
-                  0 parts
+                        Value.size_of (List.fold_left f p0 prest))
+                  (Plan.stage_label stage) parts
               in
               let cap = cluster.Cluster.workers * Value.size_of result in
               mk ~shuffled ~is_shuffle:true ~cap [ result ]
             else mk ~shuffled:bytes_in ~is_shuffle:true [ result ])
     | Plan.Join_with { right; _ } ->
         check_workers ();
-        let right_run = run_plan ~obs ~cluster ~datasets right in
+        let right_run = run_plan ~obs ~pool ~cluster ~datasets right in
         nested_metrics := !nested_metrics @ right_run.stages;
         let tbl = Hashtbl.create 256 in
         List.iter

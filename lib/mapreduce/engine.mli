@@ -42,11 +42,16 @@ type run = {
     and speculative execution) instead of the closed-form estimate.
     [obs] (default disabled) records an "engine.run_plan" span with one
     child span per stage, carrying record and shuffle-volume counters.
+    [pool] (default {!Casper_par.Par.global}) runs record-level stage
+    work and per-partition combiner accounting across its domains;
+    outputs and accounting are byte-identical at any pool size (see
+    DESIGN.md §10).
     @raise Engine_error on unknown or duplicate dataset names, shape
     errors, and shuffles on a cluster with no worker slots. *)
 val run_plan :
   ?sched:Sched.Coordinator.config ->
   ?obs:Casper_obs.Obs.ctx ->
+  ?pool:Casper_par.Par.pool ->
   cluster:Cluster.t ->
   datasets:(string * Value.t list) list ->
   Plan.t ->

@@ -24,13 +24,19 @@ let wall_clock : clock = Unix.gettimeofday
 
 let virtual_clock ?(seed = 0) () : clock =
   (* deterministic, strictly increasing, with seeded pseudo-random
-     sub-millisecond steps so durations look organic in a viewer *)
+     sub-millisecond steps so durations look organic in a viewer; the
+     mutex makes reads from pool-worker spans safe (the sequence of
+     ticks then depends on scheduling, but virtual-clocked contexts are
+     only required to be byte-stable at jobs=1, where the lock is
+     uncontended and the sequence is exactly the historical one) *)
   let rng = Rng.create (seed + 7919) in
+  let m = Mutex.create () in
   let t = ref 0.0 in
   fun () ->
-    let v = !t in
-    t := v +. 1e-6 +. (Rng.float rng *. 1e-3);
-    v
+    Mutex.protect m (fun () ->
+        let v = !t in
+        t := v +. 1e-6 +. (Rng.float rng *. 1e-3);
+        v)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                                *)
@@ -45,11 +51,24 @@ type node = {
   mutable rev_children : node list;
 }
 
+(* spans opened by a pool-worker domain live on their own per-domain
+   track, not on the owner's stack: the owner's span tree (the golden
+   trace surface) is byte-identical whether or not workers traced
+   anything, and no node is ever mutated by two domains *)
+type dtrack = {
+  d_root : node;
+  mutable d_stack : node list;  (** open worker spans, ends at [d_root] *)
+}
+
 type ctx = {
   on : bool;
   clock : clock;
   root : node;
+  owner : int;  (** id of the domain that created the context *)
+  lock : Mutex.t;  (** guards totals, gauges and the domain tracks *)
   mutable stack : node list;  (** open spans, innermost first; ends at root *)
+  mutable dom_tracks : (int * dtrack) list;
+      (** per-domain tracks, keyed by domain id; named in arrival order *)
   totals : (string, int) Hashtbl.t;
   mutable gauges : (string * float) list;
 }
@@ -59,12 +78,17 @@ let make_node ~track ~t0 ?(args = []) name =
 
 let default_track = "pipeline"
 
+let self_id () : int = (Domain.self () :> int)
+
 let null : ctx =
   {
     on = false;
     clock = wall_clock;
     root = make_node ~track:default_track ~t0:0.0 "root";
+    owner = -1;
+    lock = Mutex.create ();
     stack = [];
+    dom_tracks = [];
     totals = Hashtbl.create 1;
     gauges = [];
   }
@@ -75,7 +99,10 @@ let create ?(clock = wall_clock) () : ctx =
     on = true;
     clock;
     root;
+    owner = self_id ();
+    lock = Mutex.create ();
     stack = [ root ];
+    dom_tracks = [];
     totals = Hashtbl.create 64;
     gauges = [];
   }
@@ -104,6 +131,58 @@ let span c ?(args = []) (name : string) (f : unit -> 'a) : 'a =
       f
   end
 
+(* the calling domain's track, created on first use; named by arrival
+   order so track names don't leak raw domain ids *)
+let dtrack_of (c : ctx) (did : int) : dtrack =
+  match List.assoc_opt did c.dom_tracks with
+  | Some dt -> dt
+  | None ->
+      let name = Fmt.str "domain-%d" (1 + List.length c.dom_tracks) in
+      let dt =
+        {
+          d_root = make_node ~track:name ~t0:(c.clock ()) name;
+          d_stack = [];
+        }
+      in
+      c.dom_tracks <- c.dom_tracks @ [ (did, dt) ];
+      dt.d_stack <- [ dt.d_root ];
+      dt
+
+(** Like {!span}, but from a pool-worker domain: the span nests under
+    the calling domain's own track ("domain-1", "domain-2", … in
+    arrival order), so concurrent workers never touch the owner's span
+    stack. Called on the owner domain (a pool of size 1, or the
+    submitter helping out) it is a transparent no-op — the owner's
+    trace stays byte-identical to a sequential run. *)
+let domain_span c ?(args = []) (name : string) (f : unit -> 'a) : 'a =
+  if (not c.on) || self_id () = c.owner then f ()
+  else begin
+    let did = self_id () in
+    let n =
+      Mutex.protect c.lock (fun () ->
+          let dt = dtrack_of c did in
+          let parent =
+            match dt.d_stack with p :: _ -> p | [] -> dt.d_root
+          in
+          let n = make_node ~track:dt.d_root.track ~t0:(c.clock ()) ~args name in
+          parent.rev_children <- n :: parent.rev_children;
+          dt.d_stack <- n :: dt.d_stack;
+          n)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect c.lock (fun () ->
+            n.t1 <- c.clock ();
+            let dt = dtrack_of c did in
+            let rec pop = function
+              | top :: rest when top == n -> dt.d_stack <- rest
+              | _ :: rest -> pop rest
+              | [] -> dt.d_stack <- [ dt.d_root ]
+            in
+            pop dt.d_stack))
+      f
+  end
+
 let span_at c ?(track = "sched") ?(args = []) ~(t0 : float) ~(t1 : float)
     (name : string) : unit =
   if c.on then begin
@@ -123,22 +202,37 @@ let rec bump assoc key d =
       if String.equal k key then (k, v + d) :: rest
       else (k, v) :: bump rest key d
 
-(** Add [d] to counter [key]: on the innermost open span and on the
-    flat per-run totals. *)
+(** Add [d] to counter [key]: on the innermost open span of the calling
+    domain (the owner's stack, or the domain's own track) and on the
+    flat per-run totals (lock-guarded — totals are shared across
+    domains). *)
 let add c (key : string) (d : int) : unit =
   if c.on then begin
-    (match c.stack with
-    | top :: _ -> top.counters <- bump top.counters key d
-    | [] -> ());
-    let prev = try Hashtbl.find c.totals key with Not_found -> 0 in
-    Hashtbl.replace c.totals key (prev + d)
+    (if self_id () = c.owner then (
+       match c.stack with
+       | top :: _ -> top.counters <- bump top.counters key d
+       | [] -> ())
+     else
+       Mutex.protect c.lock (fun () ->
+           let dt = dtrack_of c (self_id ()) in
+           match dt.d_stack with
+           | top :: _ -> top.counters <- bump top.counters key d
+           | [] -> ()));
+    Mutex.protect c.lock (fun () ->
+        let prev = try Hashtbl.find c.totals key with Not_found -> 0 in
+        Hashtbl.replace c.totals key (prev + d))
   end
 
 let set_gauge c (key : string) (v : float) : unit =
-  if c.on then c.gauges <- (key, v) :: List.remove_assoc key c.gauges
+  if c.on then
+    Mutex.protect c.lock (fun () ->
+        c.gauges <- (key, v) :: List.remove_assoc key c.gauges)
 
 let total c (key : string) : int =
-  try Hashtbl.find c.totals key with Not_found -> 0
+  if not c.on then 0
+  else
+    Mutex.protect c.lock (fun () ->
+        try Hashtbl.find c.totals key with Not_found -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Read-side views                                                      *)
@@ -166,10 +260,18 @@ let rec view_of (n : node) : view =
   }
 
 let tree c : view list =
-  if not c.on then [] else (view_of c.root).v_children
+  if not c.on then []
+  else
+    (view_of c.root).v_children
+    @ List.map (fun (_, dt) -> view_of dt.d_root) c.dom_tracks
 
 let well_formed c : bool =
-  (not c.on) || (match c.stack with [ r ] -> r == c.root | _ -> false)
+  (not c.on)
+  || (match c.stack with [ r ] -> r == c.root | _ -> false)
+     && List.for_all
+          (fun (_, dt) ->
+            match dt.d_stack with [ r ] -> r == dt.d_root | _ -> false)
+          c.dom_tracks
 
 (** The structural shape of the span tree: names, nesting and counter
     keys, with duplicate sibling subtrees collapsed (first-occurrence
@@ -217,6 +319,7 @@ let shape c : string =
 (* Export                                                               *)
 
 let metrics c : J.t =
+  Mutex.protect c.lock @@ fun () ->
   let counters =
     Hashtbl.fold (fun k v acc -> (k, J.Int v) :: acc) c.totals []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -31,6 +31,14 @@ val now : ctx -> float
     annotations shown in the trace viewer. *)
 val span : ctx -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
+(** Like {!span}, but safe to call from a pool-worker domain: the span
+    nests under the calling domain's own track ("domain-1", "domain-2",
+    … in arrival order) so concurrent workers never touch the owner's
+    span stack. On the owner domain it is a transparent no-op, which
+    keeps jobs=1 traces byte-identical to pre-parallelism ones. *)
+val domain_span :
+  ctx -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
 (** Record an already-completed span with explicit timestamps, e.g. when
     folding the scheduler's simulation-time event trace into the tree.
     [track] (default ["sched"]) separates its timeline from the wall

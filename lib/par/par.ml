@@ -1,0 +1,332 @@
+(** Deterministic fork/join on a fixed-size domain pool. See par.mli.
+
+    Determinism argument, in one place: a batch of [n] tasks writes into
+    slot [j] of a results array and nothing else; tasks are pure
+    (closures over immutable snapshots — the callers' obligation), so
+    execution order cannot be observed. The merge walks the array in
+    submission order, re-raising the first (lowest-index) captured
+    exception — exactly the element the sequential [List.map] would have
+    raised at, under the same purity assumption. Publication is safe:
+    every result write happens before the task decrements [batch_left]
+    under the pool lock, and the submitter reads the array only after
+    observing [batch_left = 0] under the same lock. *)
+
+type task = unit -> unit
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker deques. The owner pops from the front, thieves steal from
+   the back; both ends are cheap on a two-list queue. A mutex per deque
+   keeps steals safe — tasks are coarse (a chunk of records, a whole
+   candidate check), so the lock is not a contention point. *)
+
+type deque = {
+  dm : Mutex.t;
+  mutable front : task list;  (** owner's end *)
+  mutable back : task list;  (** submission / steal end, newest first *)
+}
+
+let deque_make () = { dm = Mutex.create (); front = []; back = [] }
+
+let deque_push (d : deque) (t : task) : unit =
+  Mutex.protect d.dm (fun () -> d.back <- t :: d.back)
+
+let deque_pop_front (d : deque) : task option =
+  Mutex.protect d.dm (fun () ->
+      (match d.front with
+      | [] ->
+          d.front <- List.rev d.back;
+          d.back <- []
+      | _ -> ());
+      match d.front with
+      | [] -> None
+      | t :: rest ->
+          d.front <- rest;
+          Some t)
+
+let deque_steal (d : deque) : task option =
+  Mutex.protect d.dm (fun () ->
+      match d.back with
+      | t :: rest ->
+          d.back <- rest;
+          Some t
+      | [] -> (
+          match d.front with
+          | t :: rest ->
+              d.front <- rest;
+              Some t
+          | [] -> None))
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+
+type pool = {
+  jobs : int;
+  deques : deque array;  (** slot 0 = the submitting domain's deque *)
+  lock : Mutex.t;  (** guards [batch_left], [live] and both conditions *)
+  work_cv : Condition.t;  (** new work or shutdown *)
+  done_cv : Condition.t;  (** current batch fully finished *)
+  pending : int Atomic.t;  (** tasks queued, not yet dequeued *)
+  mutable batch_left : int;
+  mutable live : bool;
+  mutable shut : bool;
+  mutable domains : unit Domain.t list;
+  sub : Mutex.t;  (** serializes top-level batches on this pool *)
+}
+
+(* set while this domain is executing a pool task: nested combinator
+   calls run inline (deadlock-free, and a nested search stays wholly
+   inside one domain's caches) *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let on_worker () = Domain.DLS.get in_task
+
+let exec_task (t : task) : unit =
+  let saved = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task saved) t
+
+(* Dequeue for executor [i]: own deque first, then steal round-robin
+   from the siblings. *)
+let take (p : pool) (i : int) : task option =
+  let found =
+    match deque_pop_front p.deques.(i) with
+    | Some _ as r -> r
+    | None ->
+        let n = Array.length p.deques in
+        let rec scan k =
+          if k = n then None
+          else
+            match deque_steal p.deques.((i + k) mod n) with
+            | Some _ as r -> r
+            | None -> scan (k + 1)
+        in
+        scan 1
+  in
+  (match found with Some _ -> Atomic.decr p.pending | None -> ());
+  found
+
+let worker_loop (p : pool) (i : int) : unit =
+  let rec loop () =
+    match take p i with
+    | Some t ->
+        exec_task t;
+        loop ()
+    | None ->
+        Mutex.lock p.lock;
+        let rec wait () =
+          if not p.live then Mutex.unlock p.lock
+          else if Atomic.get p.pending > 0 then begin
+            Mutex.unlock p.lock;
+            loop ()
+          end
+          else begin
+            Condition.wait p.work_cv p.lock;
+            wait ()
+          end
+        in
+        wait ()
+  in
+  loop ()
+
+let create ~jobs : pool =
+  if jobs < 1 then invalid_arg "Par.create: jobs must be >= 1";
+  let p =
+    {
+      jobs;
+      deques = Array.init jobs (fun _ -> deque_make ());
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      pending = Atomic.make 0;
+      batch_left = 0;
+      live = true;
+      shut = false;
+      domains = [];
+      sub = Mutex.create ();
+    }
+  in
+  p.domains <-
+    List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker_loop p (k + 1)));
+  p
+
+let size p = p.jobs
+
+let shutdown (p : pool) : unit =
+  (* taking [sub] first means no batch is in flight; workers drain any
+     leftover queue entries before exiting *)
+  Mutex.protect p.sub (fun () ->
+      if not p.shut then begin
+        Mutex.lock p.lock;
+        p.live <- false;
+        p.shut <- true;
+        Condition.broadcast p.work_cv;
+        Mutex.unlock p.lock;
+        List.iter Domain.join p.domains;
+        p.domains <- []
+      end)
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+
+(** Run every thunk, each capturing its own result or exception; blocks
+    until the whole batch has finished. The submitting domain executes
+    tasks too (its own deque first, then steals). *)
+let run_batch (p : pool) (fs : (unit -> 'b) array) : ('b, exn) result array =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else begin
+    Mutex.lock p.sub;
+    Fun.protect ~finally:(fun () -> Mutex.unlock p.sub) @@ fun () ->
+    if p.shut then invalid_arg "Par: pool is shut down";
+    let results : ('b, exn) result array = Array.make n (Error Exit) in
+    Mutex.lock p.lock;
+    p.batch_left <- n;
+    Mutex.unlock p.lock;
+    Array.iteri
+      (fun j f ->
+        let t () =
+          let r = try Ok (f ()) with e -> Error e in
+          results.(j) <- r;
+          Mutex.lock p.lock;
+          p.batch_left <- p.batch_left - 1;
+          if p.batch_left = 0 then Condition.broadcast p.done_cv;
+          Mutex.unlock p.lock
+        in
+        deque_push p.deques.(j mod p.jobs) t)
+      fs;
+    Atomic.fetch_and_add p.pending n |> ignore;
+    Mutex.lock p.lock;
+    Condition.broadcast p.work_cv;
+    Mutex.unlock p.lock;
+    (* help execute until the batch is done *)
+    let rec help () =
+      match take p 0 with
+      | Some t ->
+          exec_task t;
+          help ()
+      | None ->
+          Mutex.lock p.lock;
+          while p.batch_left > 0 do
+            Condition.wait p.done_cv p.lock
+          done;
+          Mutex.unlock p.lock
+    in
+    help ();
+    results
+  end
+
+(* Wait on [done_cv] requires tasks to signal it even when the submitter
+   is the one finishing the last task: the task wrapper above broadcasts
+   under the lock regardless of which domain runs it, and the submitter
+   re-checks [batch_left] under the same lock, so the handoff cannot be
+   missed. *)
+
+(** Submission-order merge: first (lowest-index) captured exception
+    re-raised, else the values in order. *)
+let merge_results (results : ('b, exn) result array) : 'b list =
+  let n = Array.length results in
+  let rec first_error i =
+    if i = n then None
+    else match results.(i) with Error e -> Some e | Ok _ -> first_error (i + 1)
+  in
+  match first_error 0 with
+  | Some e -> raise e
+  | None ->
+      List.init n (fun i ->
+          match results.(i) with Ok v -> v | Error _ -> assert false)
+
+let inline_pool (p : pool) : bool = p.jobs = 1 || on_worker ()
+
+let parallel_map (p : pool) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  if p.shut then invalid_arg "Par: pool is shut down";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when inline_pool p -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      merge_results (run_batch p (Array.map (fun x () -> f x) arr))
+
+(* contiguous balanced chunks: sizes differ by at most one, order kept *)
+let chunk_list (k : int) (xs : 'a list) : 'a list list =
+  let n = List.length xs in
+  let k = max 1 (min k n) in
+  let base = n / k and extra = n mod k in
+  let rec split_at i acc xs =
+    if i = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split_at (i - 1) (x :: acc) rest
+  in
+  let rec go i xs acc =
+    if i = k then List.rev acc
+    else
+      let len = base + if i < extra then 1 else 0 in
+      let c, rest = split_at len [] xs in
+      go (i + 1) rest (c :: acc)
+  in
+  go 0 xs []
+
+let chunks = chunk_list
+
+let chunked (p : pool) ~(chunks_per_job : int) (g : 'a list -> 'b)
+    (xs : 'a list) : 'b list =
+  let chunks = chunk_list (chunks_per_job * p.jobs) xs in
+  parallel_map p g chunks
+
+let parallel_chunks ?(chunks_per_job = 2) (p : pool) (f : 'a -> 'b)
+    (xs : 'a list) : 'b list =
+  if inline_pool p then List.map f xs
+  else List.concat (chunked p ~chunks_per_job (List.map f) xs)
+
+let concat_map ?(chunks_per_job = 2) (p : pool) (f : 'a -> 'b list)
+    (xs : 'a list) : 'b list =
+  if inline_pool p then List.concat_map f xs
+  else List.concat (chunked p ~chunks_per_job (List.concat_map f) xs)
+
+let filter ?(chunks_per_job = 2) (p : pool) (f : 'a -> bool) (xs : 'a list) :
+    'a list =
+  if inline_pool p then List.filter f xs
+  else List.concat (chunked p ~chunks_per_job (List.filter f) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide default pool                                           *)
+
+let env_jobs () =
+  match Sys.getenv_opt "CASPER_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let override : int option ref = ref None
+let global_pool : pool option ref = ref None
+let glock = Mutex.create ()
+
+let jobs () = match !override with Some n -> n | None -> env_jobs ()
+
+let set_jobs (n : int) : unit =
+  if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  let stale =
+    Mutex.protect glock (fun () ->
+        override := Some n;
+        let old = !global_pool in
+        global_pool := None;
+        old)
+  in
+  match stale with Some p -> shutdown p | None -> ()
+
+let global () : pool =
+  Mutex.protect glock (fun () ->
+      match !global_pool with
+      | Some p -> p
+      | None ->
+          let p = create ~jobs:(jobs ()) in
+          global_pool := Some p;
+          p)

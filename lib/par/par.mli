@@ -1,0 +1,85 @@
+(** Deterministic fork/join on a fixed-size OCaml 5 domain pool.
+
+    A pool owns [jobs - 1] worker domains plus the submitting domain,
+    each with its own work-stealing deque: a worker pops its own deque
+    from the front and steals from the back of its siblings, so tasks
+    execute out of order — but every combinator merges results in
+    submission order, which makes outputs byte-identical to the
+    sequential run at any pool size (size 1 runs inline and spawns
+    nothing). Exceptions are deterministic too: if any task raises, the
+    combinator re-raises the exception of the lowest-index raising task
+    after all tasks of the batch have finished, so a raising task can
+    neither wedge the pool nor leak domains.
+
+    Combinators called from inside a pool task run inline sequentially
+    (same results — a nested batch just loses its parallelism), which
+    both prevents submission deadlock and keeps domain-local caches
+    (memo shards, interners) consistent within one logical search. *)
+
+type pool
+
+(** [create ~jobs] spawns [jobs - 1] worker domains. [jobs < 1] raises
+    [Invalid_argument]. [jobs = 1] spawns nothing: every combinator runs
+    inline. *)
+val create : jobs:int -> pool
+
+(** Total parallelism of the pool (the [jobs] it was created with). *)
+val size : pool -> int
+
+(** Join all worker domains. Idempotent; using the pool afterwards
+    raises [Invalid_argument]. *)
+val shutdown : pool -> unit
+
+(** [create], run, [shutdown] — also on exceptions. *)
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+
+(** True while executing inside a pool task (on any pool) — the
+    condition under which combinators run inline. *)
+val on_worker : unit -> bool
+
+(** [parallel_map pool f xs = List.map f xs], with [f] applied to the
+    elements out of order across the pool's domains. One task per
+    element — use {!parallel_chunks} when [f] is cheap relative to task
+    overhead. *)
+val parallel_map : pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_chunks pool f xs = List.map f xs], executed as
+    [chunks_per_job * size pool] contiguous chunks (one task per chunk).
+    *)
+val parallel_chunks :
+  ?chunks_per_job:int -> pool -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [concat_map pool f xs = List.concat_map f xs], chunked like
+    {!parallel_chunks}. *)
+val concat_map :
+  ?chunks_per_job:int -> pool -> ('a -> 'b list) -> 'a list -> 'b list
+
+(** [filter pool p xs = List.filter p xs], chunked like
+    {!parallel_chunks}. *)
+val filter : ?chunks_per_job:int -> pool -> ('a -> bool) -> 'a list -> 'a list
+
+(** [chunks k xs]: [xs] split into [min k (max 1 (length xs))]
+    contiguous chunks whose sizes differ by at most one —
+    [List.concat (chunks k xs) = xs]. For callers that chunk manually
+    (e.g. to put a span around each chunk). *)
+val chunks : int -> 'a list -> 'a list list
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide default pool, shared by every [--jobs]-aware entry
+   point.                                                              *)
+
+(** Parallelism requested by the environment: [CASPER_JOBS] when set to
+    a positive integer, else 1. *)
+val env_jobs : unit -> int
+
+(** Override the default parallelism (the [--jobs] CLI flag). Shuts
+    down a previously created global pool; the next {!global} call
+    rebuilds one at the new size. *)
+val set_jobs : int -> unit
+
+(** The current default parallelism: the last {!set_jobs} value, else
+    {!env_jobs}. *)
+val jobs : unit -> int
+
+(** The lazily-created process-wide pool at {!jobs} parallelism. *)
+val global : unit -> pool

@@ -26,6 +26,7 @@ module Value = Casper_common.Value
 module Memo = Casper_ir.Memo
 module Fastpath = Casper_ir.Fastpath
 module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
 
 type config = {
   incremental : bool;  (** false = Table 3's flat-grammar ablation *)
@@ -183,14 +184,18 @@ let make_probes_uncached prog (frag : F.t) : Casper_ir.Eval.env list =
 
 (* probe selection is a pure function of the program and fragment, and
    [find_summary] needs it twice (pool construction and solution
-   ranking) — cache it per (program, fragment) *)
-let probe_cache :
-    (Minijava.Ast.program * F.t, Casper_ir.Eval.env list) Hashtbl.t =
-  Hashtbl.create 32
+   ranking) — cache it per (program, fragment). The cache is sharded
+   per domain (each domain running searches caches its own probes) so
+   concurrent fuzzing campaigns never share the table. *)
+let probe_cache_key :
+    (Minijava.Ast.program * F.t, Casper_ir.Eval.env list) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let make_probes prog (frag : F.t) : Casper_ir.Eval.env list =
-  if not !Fastpath.enabled then make_probes_uncached prog frag
+  if not (Fastpath.enabled ()) then make_probes_uncached prog frag
   else
+    let probe_cache = Domain.DLS.get probe_cache_key in
     let key = (prog, frag) in
     match Hashtbl.find_opt probe_cache key with
     | Some probes -> probes
@@ -249,7 +254,7 @@ let make_state ?(phi = []) prog frag ~budget : search_state =
   List.iter
     (fun state ->
       st.phi <- state :: st.phi;
-      if !Fastpath.enabled then (
+      if (Fastpath.enabled ()) then (
         let sid = st.next_sid in
         st.next_sid <- sid + 1;
         st.phi_prepared <-
@@ -260,7 +265,7 @@ let make_state ?(phi = []) prog frag ~budget : search_state =
 let add_phi (st : search_state) prog frag (state : Minijava.Interp.env) :
     unit =
   st.phi <- state :: st.phi;
-  if !Fastpath.enabled then (
+  if (Fastpath.enabled ()) then (
     let sid = st.next_sid in
     st.next_sid <- sid + 1;
     st.phi_prepared <-
@@ -269,7 +274,7 @@ let add_phi (st : search_state) prog frag (state : Minijava.Interp.env) :
 (* Ω ∪ Δ insertion: construction key on the fast path, printed text on
    the baseline ([cid] is 0 there — the baseline never computes keys). *)
 let block (st : search_state) (c : Ir.summary) (cid : int) : unit =
-  if !Fastpath.enabled then Hashtbl.replace st.blocked cid ()
+  if (Fastpath.enabled ()) then Hashtbl.replace st.blocked cid ()
   else Hashtbl.replace st.blocked_text (Ir.summary_to_string c) ()
 
 (* [Verifier.holds_on] with per-(candidate, state) verdicts memoized.
@@ -296,16 +301,45 @@ let holds_on_cached (st : search_state) frag (c : Ir.summary) (cid : int) :
   in
   walk st.phi_prepared
 
+(* One candidate's speculatively computed verdicts. Workers evaluate
+   against an immutable snapshot of Φ using the *plain* (pure,
+   regenerate-per-call) verifier paths, so they never touch the shared
+   prepared-state lazies or the search-state tables; the sequential
+   replay below merges the results back in submission order. A worker
+   that raises reports [Sp_failed] and the replay recomputes that
+   candidate sequentially — re-raising any real error at exactly the
+   point, and with exactly the partial stats, of the sequential run. *)
+type spec =
+  | Sp of {
+      sp_phi : (int * bool) list;
+          (** (Φ-state id, verdict) over the snapshot, in walk order,
+              early-exited at the first failure like the sequential
+              walk *)
+      sp_holds : bool;  (** all snapshot states passed *)
+      sp_bounded : Verifier.outcome option;  (** computed iff [sp_holds] *)
+    }
+  | Sp_failed
+
 (** Figure 5 lines 1–8: find the next candidate in [cands] that survives
     Φ and bounded model checking. [bounded] is the pre-generated bounded
     batch shared by every candidate of this search (fast path only;
     generation is deterministic, so it equals the per-call batch the
-    plain path regenerates). *)
+    plain path regenerates).
+
+    With a multi-domain [pool], candidates are checked speculatively in
+    batches of [8 × pool size]: workers compute Φ-verdicts against a
+    snapshot of Φ plus the (Φ-independent) bounded verdict, and a
+    sequential replay then applies the Figure-5 state transitions —
+    budget, Φ growth, blocking, stats — in submission order. Since Φ
+    only grows, a snapshot pass is necessary for a replay pass, and
+    every verdict is a deterministic function of the candidate alone or
+    of (candidate, state), so outcomes, stats and Φ evolution are
+    byte-identical to the sequential run at any pool size. *)
 let synthesize (cfg : config) (st : search_state) prog frag ~(obs : Obs.ctx)
-    ~(bounded : Verifier.prepared list Lazy.t)
+    ~(pool : Par.pool) ~(bounded : Verifier.prepared list Lazy.t)
     (cands : (Ir.summary * int) Seq.t) :
     (Ir.summary * int * (Ir.summary * int) Seq.t) option =
-  let fast = !Fastpath.enabled in
+  let fast = (Fastpath.enabled ()) in
   (* counters are batched per round — one add at exit instead of one per
      candidate — to keep enabled-tracing overhead off the search's hot
      path; the totals are identical *)
@@ -316,20 +350,45 @@ let synthesize (cfg : config) (st : search_state) prog frag ~(obs : Obs.ctx)
       Obs.add obs "cegis_iterations" (st.iters - iters0);
     r
   in
+  let skip_blocked c cid =
+    (* fast: O(1) membership by the construction key the shape assembled
+       the candidate under; baseline: the original pretty-print-and-hash
+       keying *)
+    if fast then Hashtbl.mem st.blocked cid
+    else Hashtbl.mem st.blocked_text (Ir.summary_to_string c)
+  in
+  let bounded_verdict c cid ~(spec : Verifier.outcome option) :
+      Verifier.outcome =
+    Obs.span obs "bounded-verify" @@ fun () ->
+    if fast then (
+      match Hashtbl.find_opt st.bounded_verdicts cid with
+      | Some o ->
+          Fastpath.counters.verdict_hits <-
+            Fastpath.counters.verdict_hits + 1;
+          o
+      | None ->
+          let o =
+            match spec with
+            | Some o -> o
+            | None ->
+                Verifier.check_prepared_batch frag c (Lazy.force bounded)
+          in
+          Hashtbl.add st.bounded_verdicts cid o;
+          o)
+    else
+      match spec with
+      | Some o -> o
+      | None ->
+          Verifier.bounded_check ~seed:cfg.seed ~count:cfg.bounded_states
+            prog frag c
+  in
   let rec go (s : (Ir.summary * int) Seq.t) =
     if st.tried >= st.budget then None
     else
       match s () with
       | Seq.Nil -> None
       | Seq.Cons ((c, cid), rest) ->
-          (* fast: O(1) membership by the construction key the shape
-             assembled the candidate under; baseline: the original
-             pretty-print-and-hash keying *)
-          let skip =
-            if fast then Hashtbl.mem st.blocked cid
-            else Hashtbl.mem st.blocked_text (Ir.summary_to_string c)
-          in
-          if skip then go rest
+          if skip_blocked c cid then go rest
           else (
             st.tried <- st.tried + 1;
             let holds =
@@ -339,26 +398,7 @@ let synthesize (cfg : config) (st : search_state) prog frag ~(obs : Obs.ctx)
             if not holds then go rest
             else (
               st.iters <- st.iters + 1;
-              let outcome =
-                Obs.span obs "bounded-verify" @@ fun () ->
-                if fast then (
-                  match Hashtbl.find_opt st.bounded_verdicts cid with
-                  | Some o ->
-                      Fastpath.counters.verdict_hits <-
-                        Fastpath.counters.verdict_hits + 1;
-                      o
-                  | None ->
-                      let o =
-                        Verifier.check_prepared_batch frag c
-                          (Lazy.force bounded)
-                      in
-                      Hashtbl.add st.bounded_verdicts cid o;
-                      o)
-                else
-                  Verifier.bounded_check ~seed:cfg.seed
-                    ~count:cfg.bounded_states prog frag c
-              in
-              match outcome with
+              match bounded_verdict c cid ~spec:None with
               | Verifier.Valid -> Some (c, cid, rest)
               | Verifier.Counterexample phi_state ->
                   add_phi st prog frag phi_state;
@@ -367,7 +407,125 @@ let synthesize (cfg : config) (st : search_state) prog frag ~(obs : Obs.ctx)
                   block st c cid;
                   go rest))
   in
-  record (go cands)
+  (* --- speculative path ------------------------------------------- *)
+  (* the Φ snapshot workers check against: (sid, plain state) pairs in
+     the walk order of [holds_on_cached] (newest first) *)
+  let phi_snapshot () : (int * Minijava.Interp.env) list =
+    if fast then
+      List.map2 (fun (sid, _) state -> (sid, state)) st.phi_prepared st.phi
+    else List.mapi (fun i state -> (-1 - i, state)) st.phi
+  in
+  let speculate snapshot (c, _cid) : spec =
+    try
+      Memo.sync_shard ();
+      let rec walk acc = function
+        | [] -> (List.rev acc, true)
+        | (sid, state) :: rest ->
+            (* plain per-state check: pure, and outcome-identical to
+               [Verifier.check_prepared_one] on the same state (the
+               fastpath equivalence the difftest oracle verifies) *)
+            let b = Verifier.holds_on prog frag c [ state ] in
+            if b then walk ((sid, b) :: acc) rest
+            else (List.rev ((sid, b) :: acc), false)
+      in
+      let sp_phi, sp_holds = walk [] snapshot in
+      let sp_bounded =
+        if sp_holds then
+          Some
+            (Verifier.bounded_check ~seed:cfg.seed ~count:cfg.bounded_states
+               prog frag c)
+        else None
+      in
+      Sp { sp_phi; sp_holds; sp_bounded }
+    with _ -> Sp_failed
+  in
+  (* pull up to [n] not-yet-blocked candidates *)
+  let rec pull n acc (s : (Ir.summary * int) Seq.t) =
+    if n = 0 then (List.rev acc, s)
+    else
+      match s () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons ((c, cid), rest) ->
+          if skip_blocked c cid then pull n acc rest
+          else pull (n - 1) ((c, cid) :: acc) rest
+  in
+  let rec spec_round (s : (Ir.summary * int) Seq.t) =
+    let remaining = st.budget - st.tried in
+    if remaining <= 0 then None
+    else
+      let batch, rest = pull (min (8 * Par.size pool) remaining) [] s in
+      match batch with
+      | [] -> None
+      | _ ->
+          let snapshot = phi_snapshot () in
+          let phi_len0 = List.length st.phi in
+          let specs =
+            Par.parallel_map pool (speculate snapshot) batch
+            |> List.combine batch
+          in
+          let rec replay = function
+            | [] -> spec_round rest
+            | ((c, cid), spec) :: more ->
+                if st.tried >= st.budget then None
+                else if skip_blocked c cid then replay more
+                else (
+                  st.tried <- st.tried + 1;
+                  (* merge the speculative Φ verdicts so the replay's
+                     cached walk is (almost) all hits *)
+                  (if fast then
+                     match spec with
+                     | Sp { sp_phi; _ } ->
+                         List.iter
+                           (fun (sid, b) ->
+                             let key = (cid lsl 31) lor sid in
+                             if not (Hashtbl.mem st.phi_verdicts key) then
+                               Hashtbl.add st.phi_verdicts key b)
+                           sp_phi
+                     | Sp_failed -> ());
+                  let holds =
+                    if fast then holds_on_cached st frag c cid
+                    else
+                      match spec with
+                      | Sp { sp_holds; _ } ->
+                          (* Φ only grows: candidates must additionally
+                             pass the states added since the snapshot *)
+                          sp_holds
+                          &&
+                          let n_new = List.length st.phi - phi_len0 in
+                          (n_new = 0
+                          ||
+                          let new_states =
+                            List.filteri (fun i _ -> i < n_new) st.phi
+                          in
+                          Verifier.holds_on prog frag c new_states)
+                      | Sp_failed -> Verifier.holds_on prog frag c st.phi
+                  in
+                  if not holds then replay more
+                  else (
+                    st.iters <- st.iters + 1;
+                    let spec_bounded =
+                      match spec with
+                      | Sp { sp_bounded; _ } -> sp_bounded
+                      | Sp_failed -> None
+                    in
+                    match bounded_verdict c cid ~spec:spec_bounded with
+                    | Verifier.Valid ->
+                        (* leftovers of this batch go back in front of
+                           the enumeration, preserving candidate order *)
+                        let leftover = List.map fst more in
+                        Some
+                          (c, cid, Seq.append (List.to_seq leftover) rest)
+                    | Verifier.Counterexample phi_state ->
+                        add_phi st prog frag phi_state;
+                        replay more
+                    | Verifier.Invalid_summary _ ->
+                        block st c cid;
+                        replay more))
+          in
+          replay specs
+  in
+  let use_spec = Par.size pool > 1 && not (Par.on_worker ()) in
+  record (if use_spec then spec_round cands else go cands)
 
 (* ------------------------------------------------------------------ *)
 
@@ -430,8 +588,9 @@ let static_cost prog (frag : F.t) (probe : Casper_ir.Eval.env)
 (* ------------------------------------------------------------------ *)
 
 (** Figure 5 lines 10–24: the full search. *)
-let rec find_summary ?(obs = Obs.null) ?(config = default_config)
+let rec find_summary ?(obs = Obs.null) ?(config = default_config) ?pool
     (prog : Minijava.Ast.program) (frag : F.t) : outcome =
+  let pool = match pool with Some p -> p | None -> Par.global () in
   (* fresh memo/hash-cons tables per search; interned ids are monotonic,
      so entries from earlier searches can never alias new ones *)
   Memo.clear ();
@@ -515,7 +674,7 @@ let rec find_summary ?(obs = Obs.null) ?(config = default_config)
                 prog frag))
       in
       let full_verify_c (c : Ir.summary) (cid : int) : Verifier.outcome =
-        if not !Fastpath.enabled then
+        if not (Fastpath.enabled ()) then
           Verifier.full_verify ~count:config.full_states prog frag c
         else
           match Hashtbl.find_opt st.full_verdicts cid with
@@ -558,7 +717,8 @@ let rec find_summary ?(obs = Obs.null) ?(config = default_config)
                 else
                   match
                     Obs.span obs "round" (fun () ->
-                        synthesize config st prog frag ~obs ~bounded cands)
+                        synthesize config st prog frag ~obs ~pool ~bounded
+                          cands)
                   with
                   | None -> `Exhausted
                   | Some (c, cid, cands_rest) ->
@@ -598,7 +758,7 @@ let rec find_summary ?(obs = Obs.null) ?(config = default_config)
       in
       if config.incremental && scalar_only && List.length frag.outputs >= 3
       then
-        match decompose_multi_output ~obs ~config prog frag with
+        match decompose_multi_output ~obs ~config ~pool prog frag with
         | Some oc -> oc
         | None -> class_loop 0 klasses
       else class_loop 0 klasses
@@ -611,8 +771,8 @@ let rec find_summary ?(obs = Obs.null) ?(config = default_config)
     enumerative synthesizer this factorization reaches the same
     summaries without the cartesian blow-up. The merged result is
     checked end-to-end, so soundness is unaffected. *)
-and decompose_multi_output ~(obs : Obs.ctx) ~(config : config) prog
-    (frag : F.t) : outcome option =
+and decompose_multi_output ~(obs : Obs.ctx) ~(config : config)
+    ~(pool : Par.pool) prog (frag : F.t) : outcome option =
   let sub_config =
     {
       config with
@@ -625,7 +785,7 @@ and decompose_multi_output ~(obs : Obs.ctx) ~(config : config) prog
     List.map
       (fun out ->
         let frag_o = { frag with F.outputs = [ out ] } in
-        (out, find_summary ~obs ~config:sub_config prog frag_o))
+        (out, find_summary ~obs ~config:sub_config ~pool prog frag_o))
       frag.outputs
   in
   let tried =
@@ -706,7 +866,7 @@ and decompose_multi_output ~(obs : Obs.ctx) ~(config : config) prog
     in
     let verified =
       let valid =
-        if not !Fastpath.enabled then fun s ->
+        if not (Fastpath.enabled ()) then fun s ->
           match Verifier.full_verify ~count:config.full_states prog frag s with
           | Verifier.Valid -> true
           | _ -> false

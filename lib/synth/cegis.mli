@@ -64,6 +64,16 @@ val summary_comm_assoc :
     "full-verify" — with candidate, iteration, TP-failure, fast-path
     memo-hit and blocked-set counters; it also supplies the clock behind
     [elapsed_s], so a virtual-clock context makes the statistic
-    deterministic. *)
+    deterministic.
+
+    [pool] (default {!Casper_par.Par.global}) bounded-model-checks
+    candidate batches speculatively across its domains; solutions, stats
+    and Φ evolution are byte-identical at any pool size (DESIGN.md §10).
+    *)
 val find_summary :
-  ?obs:Casper_obs.Obs.ctx -> ?config:config -> Minijava.Ast.program -> F.t -> outcome
+  ?obs:Casper_obs.Obs.ctx ->
+  ?config:config ->
+  ?pool:Casper_par.Par.pool ->
+  Minijava.Ast.program ->
+  F.t ->
+  outcome

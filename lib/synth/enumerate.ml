@@ -46,7 +46,7 @@ let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
     | None -> true
     | Some g -> ( match Memo.bool_of cv g with Some b -> b | None -> false)
   in
-  if !Casper_ir.Fastpath.enabled then (
+  if (Casper_ir.Fastpath.enabled ()) then (
     (* every class re-proposes combinations of the same pool components:
        cache the computed cells per (guard, key, value) id triple *)
     let ckey =
@@ -55,7 +55,7 @@ let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
       | Ir.KV (k, v) -> (gid, H.expr_id k, H.expr_id v)
       | Ir.Val v -> (gid, -2, H.expr_id v)
     in
-    match Hashtbl.find_opt Memo.emit_fp_tbl ckey with
+    match Hashtbl.find_opt (Memo.emit_fp_tbl ()) ckey with
     | Some a ->
         let c = Casper_ir.Fastpath.counters in
         c.Casper_ir.Fastpath.emit_fp_hits <-
@@ -80,7 +80,7 @@ let emit_fingerprint (pools : G.pools) ({ Ir.guard; payload } : Ir.emit) :
                   a.(2 * i) <- -2;
                   a.((2 * i) + 1) <- Memo.value_id cv v)
           cps;
-        Hashtbl.add Memo.emit_fp_tbl ckey a;
+        Hashtbl.add (Memo.emit_fp_tbl ()) ckey a;
         Memo.Ids a)
   else
     Memo.Text
@@ -244,19 +244,19 @@ let param_names pools = List.map fst pools.G.params
    [Hashcons.key_of]). In baseline mode no ids are computed and every
    key is 0: the baseline identifies candidates by printed text. *)
 let emits_ids (l : Ir.emit list) : (Ir.emit * int) list =
-  if !Casper_ir.Fastpath.enabled then
+  if (Casper_ir.Fastpath.enabled ()) then
     List.map (fun e -> (e, H.emit_id e)) l
   else List.map (fun e -> (e, 0)) l
 
 let exprs_ids (l : Ir.expr list) : (Ir.expr * int) list =
-  if !Casper_ir.Fastpath.enabled then
+  if (Casper_ir.Fastpath.enabled ()) then
     List.map (fun e -> (e, H.expr_id e)) l
   else List.map (fun e -> (e, 0)) l
 
 (* reducers all bind the same parameter names, so the body id alone
    identifies one *)
 let reducers_ids (l : Ir.lam_r list) : (Ir.lam_r * int) list =
-  if !Casper_ir.Fastpath.enabled then
+  if (Casper_ir.Fastpath.enabled ()) then
     List.map (fun lr -> (lr, H.expr_id lr.Ir.r_body)) l
   else List.map (fun lr -> (lr, 0)) l
 
@@ -269,7 +269,7 @@ let shape_reduce_only (frag : F.t) (pools : G.pools) (k : G.klass) :
       (match ety with
       | Ir.TInt | Ir.TFloat | Ir.TBool | Ir.TString ->
           let d = F.primary_dataset frag in
-          let fast = !Casper_ir.Fastpath.enabled in
+          let fast = (Casper_ir.Fastpath.enabled ()) in
           Seq.map
             (fun (lr, rid) ->
               ( {
@@ -297,7 +297,7 @@ let shape_map_only (frag : F.t) (pools : G.pools) (k : G.klass) :
           ~val_pool:(vals_list pools ~max_len:k.max_len vty)
           ()
       in
-      let fast = !Casper_ir.Fastpath.enabled in
+      let fast = (Casper_ir.Fastpath.enabled ()) in
       Seq.map
         (fun (e, eid) ->
           ( {
@@ -355,7 +355,7 @@ let shape_map_reduce_keyed (frag : F.t) (pools : G.pools) (k : G.klass) :
               let* e = seq_of_list pool in
               Seq.map (fun tl -> e :: tl) (cart rest)
         in
-        let fast = !Casper_ir.Fastpath.enabled in
+        let fast = (Casper_ir.Fastpath.enabled ()) in
         let* picks = cart per_out in
         let emits = List.map fst picks in
         let eids = if fast then List.map snd picks else [] in
@@ -401,7 +401,7 @@ let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
             (G.guards pools ~max_len:k.max_len)
           |> dedupe_emits pools
         in
-        let fast = !Casper_ir.Fastpath.enabled in
+        let fast = (Casper_ir.Fastpath.enabled ()) in
         let* e, eid = seq_of_list (emits_ids emits) in
         Seq.map
           (fun (lr, rid) ->
@@ -427,7 +427,7 @@ let shape_map_reduce_global (frag : F.t) (pools : G.pools) (k : G.klass) :
               Seq.map (fun tl -> e :: tl) (cart rest)
         in
         let vty = Ir.TTuple (List.map snd scalars) in
-        let fast = !Casper_ir.Fastpath.enabled in
+        let fast = (Casper_ir.Fastpath.enabled ()) in
         let* picks = cart slot_pools in
         let slots = List.map fst picks in
         let sids = if fast then List.map snd picks else [] in
@@ -499,7 +499,7 @@ let shape_map_reduce_collection (frag : F.t) (pools : G.pools) (k : G.klass)
                       h))
                h)
       in
-      let fast = !Casper_ir.Fastpath.enabled in
+      let fast = (Casper_ir.Fastpath.enabled ()) in
       let* picks = seq_of_list (single @ pairs @ triples) in
       let body = List.map fst picks in
       let eids = if fast then List.map snd picks else [] in
@@ -529,7 +529,7 @@ let shape_map_reduce_map_collection (frag : F.t) (pools : G.pools)
           ~val_pool:(G.cap 16 (vals_list pools ~max_len:k.max_len vty))
           ()
       in
-      let fast = !Casper_ir.Fastpath.enabled in
+      let fast = (Casper_ir.Fastpath.enabled ()) in
       let* e, eid = seq_of_list (emits_ids emits) in
       let* lr, rid = seq_of_list (reducers_ids (G.reducers pools vty)) in
       let post = post_pool pools ~v:"v" vty ~out_ty:(elem_out_ty oty) in
@@ -580,7 +580,7 @@ let shape_map_reduce_map_global (frag : F.t) (pools : G.pools) (k : G.klass)
       List.sort_uniq compare (List.map snd scalars)
       |> List.filter (fun t -> t = Ir.TInt || t = Ir.TFloat)
     in
-    let fast = !Casper_ir.Fastpath.enabled in
+    let fast = (Casper_ir.Fastpath.enabled ()) in
     let* bty = seq_of_list base_tys in
     let* b, bid =
       seq_of_list (exprs_ids (G.cap 8 (vals_list pools ~max_len:k.max_len bty)))
@@ -717,7 +717,7 @@ let shape_join (prog : Minijava.Ast.program) (frag : F.t) (pools : G.pools)
       let keys = join_keys prog frag pools in
       if List.is_empty keys then Seq.empty
       else
-        let fast = !Casper_ir.Fastpath.enabled in
+        let fast = (Casper_ir.Fastpath.enabled ()) in
         let keys =
           List.map
             (fun (k1, k2) ->

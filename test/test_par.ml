@@ -1,0 +1,175 @@
+(** Tests for the deterministic multicore runtime (lib/par).
+
+    The load-bearing property is jobs-independence: every combinator
+    must equal its [List] counterpart at every pool size, exceptions
+    must pick the lowest-index raiser, and the engine/scheduler stack
+    built on top must produce byte-identical runs and traces at jobs=1
+    and jobs=4. *)
+
+module Par = Casper_par.Par
+module Value = Casper_common.Value
+module Rng = Casper_common.Rng
+module Cluster = Mapreduce.Cluster
+module Engine = Mapreduce.Engine
+module Plan = Mapreduce.Plan
+module Coordinator = Sched.Coordinator
+module Faults = Sched.Faults
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Shared pools for the property tests: spawning domains per qcheck
+   iteration would dominate the suite's runtime. Never shut down —
+   domains join at process exit. *)
+let pools =
+  lazy (List.map (fun jobs -> (jobs, Par.create ~jobs)) [ 1; 2; 3; 4 ])
+
+(* ---------------- combinators ≡ List at any pool size ------------- *)
+
+let combinators_match_list =
+  QCheck.Test.make ~name:"combinators = List counterparts at jobs 1-4"
+    ~count:60
+    QCheck.(
+      pair (fun1 Observable.int (list small_int)) (small_list int))
+    (fun (f, xs) ->
+      let fn x = QCheck.Fn.apply f x in
+      List.for_all
+        (fun (_, pool) ->
+          Par.parallel_map pool fn xs = List.map fn xs
+          && Par.parallel_chunks pool fn xs = List.map fn xs
+          && Par.concat_map pool fn xs = List.concat_map fn xs
+          && Par.filter pool (fun x -> x land 1 = 0) xs
+             = List.filter (fun x -> x land 1 = 0) xs)
+        (Lazy.force pools))
+
+let chunks_partition =
+  QCheck.Test.make ~name:"chunks k xs is a balanced partition" ~count:200
+    QCheck.(pair (int_range 1 9) (small_list int))
+    (fun (k, xs) ->
+      let cs = Par.chunks k xs in
+      let sizes = List.map List.length cs in
+      let mn = List.fold_left min max_int sizes in
+      let mx = List.fold_left max 0 sizes in
+      List.concat cs = xs
+      && List.length cs = min k (max 1 (List.length xs))
+      && mx - mn <= 1)
+
+(* ---------------- exception propagation --------------------------- *)
+
+let test_exception_lowest_index () =
+  Par.with_pool ~jobs:4 @@ fun pool ->
+  let raised =
+    try
+      ignore
+        (Par.parallel_map pool
+           (fun i ->
+             if i mod 3 = 0 then failwith (string_of_int i) else i)
+           (List.init 16 Fun.id));
+      "no exception"
+    with Failure m -> m
+  in
+  (* tasks 0, 3, 6, ... all raise; the combinator must re-raise the
+     submission-order-first one regardless of execution order *)
+  check_string "lowest-index exception wins" "0" raised;
+  (* the batch was fully drained: the pool is still usable *)
+  check_int "pool survives a raising batch" 10
+    (List.fold_left ( + ) 0
+       (Par.parallel_map pool Fun.id [ 1; 2; 3; 4 ]))
+
+(* ---------------- lifecycle --------------------------------------- *)
+
+let test_shutdown_and_reuse () =
+  let pool = Par.create ~jobs:2 in
+  check_int "usable before shutdown" 6
+    (List.fold_left ( + ) 0 (Par.parallel_map pool succ [ 0; 1; 2 ]));
+  Par.shutdown pool;
+  Par.shutdown pool (* idempotent *);
+  check "use after shutdown raises" true
+    (match Par.parallel_map pool succ [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "jobs < 1 rejected" true
+    (match Par.create ~jobs:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_nested_runs_inline () =
+  Par.with_pool ~jobs:3 @@ fun pool ->
+  check "not on a worker outside a task" false (Par.on_worker ());
+  let nested =
+    Par.parallel_map pool
+      (fun i ->
+        (* inside a task: nested combinators run inline, same result *)
+        (Par.on_worker (), Par.parallel_map pool succ [ i; i + 1 ]))
+      [ 10; 20 ]
+  in
+  check "tasks see on_worker" true (List.for_all fst nested);
+  check "nested map correct" true
+    (List.map snd nested = [ [ 11; 12 ]; [ 21; 22 ] ])
+
+(* ---------------- engine and scheduler jobs-independence ---------- *)
+
+let wc_fixture () =
+  let rng = Rng.create 17 in
+  let words =
+    Value.as_list (Casper_suites.Workload.words rng ~n:3000 ~vocab:80 ~skew:1.2)
+  in
+  let plan =
+    Plan.(
+      data "words"
+      |>> map_to_pair (fun w -> (w, Value.Int 1))
+      |>> reduce_by_key ~comm_assoc:true (fun a b ->
+              Value.Int (Value.as_int a + Value.as_int b)))
+  in
+  (words, plan)
+
+let run_at jobs =
+  let words, plan = wc_fixture () in
+  Par.with_pool ~jobs @@ fun pool ->
+  Engine.run_plan ~pool ~cluster:Cluster.spark
+    ~datasets:[ ("words", words) ] plan
+
+let test_engine_jobs_identity () =
+  let r1 = run_at 1 and r4 = run_at 4 in
+  check "outputs identical at jobs=1 vs jobs=4"
+    true
+    (r1.Engine.output = r4.Engine.output);
+  check "stage accounting identical at jobs=1 vs jobs=4" true
+    (r1.Engine.stages = r4.Engine.stages)
+
+let test_sched_trace_same_seed_jobs4 () =
+  let config = Coordinator.config ~faults:(Faults.failures ~seed:5 0.2) () in
+  let trace_of run =
+    let o = Engine.schedule ~cluster:Cluster.spark ~scale:1.0 ~config run in
+    Sched.Trace.render_events o.Coordinator.trace
+  in
+  (* same seed, two fresh jobs=4 runs: the schedule consumes only the
+     run's deterministic volumes, so the event traces are bytes-equal *)
+  let t_a = trace_of (run_at 4) and t_b = trace_of (run_at 4) in
+  check_string "same-seed sched traces identical at jobs=4" t_a t_b;
+  check_string "jobs=4 sched trace equals jobs=1 trace" (trace_of (run_at 1))
+    t_a
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [
+    qsuite "par.props" [ combinators_match_list; chunks_partition ];
+    ( "par.pool",
+      [
+        Alcotest.test_case "lowest-index exception propagates" `Quick
+          test_exception_lowest_index;
+        Alcotest.test_case "shutdown is idempotent, reuse raises" `Quick
+          test_shutdown_and_reuse;
+        Alcotest.test_case "nested combinators run inline" `Quick
+          test_nested_runs_inline;
+      ] );
+    ( "par.determinism",
+      [
+        Alcotest.test_case "engine run identical at jobs=1 vs 4" `Quick
+          test_engine_jobs_identity;
+        Alcotest.test_case "sched trace same-seed identical at jobs=4" `Quick
+          test_sched_trace_same_seed_jobs4;
+      ] );
+  ]
