@@ -1182,7 +1182,12 @@ let synth_perf () =
     [BENCH_par.json]. *)
 let par_scaling () =
   section "Multicore runtime: domain-pool scaling (jobs = 1 / 2 / 4)";
-  let jobs_list = [ 1; 2; 4 ] in
+  (* requested pool sizes clamp to the host's recommended domain count:
+     oversubscribing a small host would report a dishonest slowdown that
+     says nothing about the runtime (requested vs effective both land in
+     the JSON) *)
+  let host = Domain.recommended_domain_count () in
+  let jobs_list = List.map (fun j -> (j, min j host)) [ 1; 2; 4 ] in
   let synth_benches = [ "WordCount"; "Sum"; "StringMatch" ] in
   let words =
     let rng = Rng.create 11 in
@@ -1240,8 +1245,10 @@ let par_scaling () =
     in
     (fingerprint, synth_s, engine_s)
   in
-  let results = List.map (fun j -> (j, run_at j)) jobs_list in
-  let (fp1, base_synth, base_engine) = List.assoc 1 results in
+  let results =
+    List.map (fun (req, eff) -> ((req, eff), run_at eff)) jobs_list
+  in
+  let (fp1, base_synth, base_engine) = List.assoc (1, 1) results in
   let identical =
     List.for_all (fun (_, (fp, _, _)) -> fp = fp1) results
   in
@@ -1249,12 +1256,13 @@ let par_scaling () =
     failwith "par_scaling: outputs differ across pool sizes";
   let base_total = base_synth +. base_engine in
   T.print
-    ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right ]
-    ([ "jobs"; "synth (s)"; "engine (s)"; "total (s)"; "speedup" ]
+    ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([ "jobs"; "effective"; "synth (s)"; "engine (s)"; "total (s)"; "speedup" ]
     :: List.map
-         (fun (j, (_, ss, es)) ->
+         (fun ((req, eff), (_, ss, es)) ->
            [
-             string_of_int j;
+             string_of_int req;
+             string_of_int eff;
              T.f ~digits:2 ss;
              T.f ~digits:2 es;
              T.f ~digits:2 (ss +. es);
@@ -1277,10 +1285,11 @@ let par_scaling () =
          ( "runs",
            J.List
              (List.map
-                (fun (j, (_, ss, es)) ->
+                (fun ((req, eff), (_, ss, es)) ->
                   J.Obj
                     [
-                      ("jobs", J.Int j);
+                      ("jobs", J.Int req);
+                      ("jobs_effective", J.Int eff);
                       ("synth_wall_s", J.Float ss);
                       ("engine_wall_s", J.Float es);
                       ("total_wall_s", J.Float (ss +. es));
@@ -1289,6 +1298,277 @@ let par_scaling () =
                 results) );
        ]);
   Fmt.pr "wrote BENCH_par.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Engine data plane: batched stages vs the pre-batch list engine       *)
+
+(** Records/s per stage kind under the array-backed data plane, against
+    a faithful reimplementation of the pre-batch list engine: one boxed
+    record at a time through [List] stages, separate [List.length] +
+    [size_of] accounting folds, [List.iteri]-based partitioning and the
+    [Multiset.group_by_key] pipeline (with its per-record key-string
+    recomputation in the combiner pass). Engine outputs are asserted
+    identical across pool sizes — a hard failure otherwise. Requested
+    pool sizes clamp to the host's recommended domain count. Results
+    land in [BENCH_engine.json]. *)
+let engine_perf () =
+  section "Engine data plane: batched stages vs list engine (records/s)";
+  let n = 60_000 in
+  let rng = Rng.create 23 in
+  let words =
+    Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:1000 ~skew:1.1)
+  in
+  let kvs = List.map (fun w -> Value.Tuple [ w; Value.Int 1 ]) words in
+  let add_i a b = Value.Int (Value.as_int a + Value.as_int b) in
+  let fm w = [ w; w ] in
+  let pred v = Value.size_of v land 1 = 0 in
+  let mv v = add_i v (Value.Int 1) in
+  (* ---- the pre-batch list engine, reproduced stage by stage ---- *)
+  let module Multiset = Casper_common.Multiset in
+  let bytes_of l = List.fold_left (fun a v -> a + Value.size_of v) 0 l in
+  let as_kv = function
+    | Value.Tuple [ k; v ] -> (k, v)
+    | _ -> assert false
+  in
+  let fnv1a32 s =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x01000193 land 0xffffffff)
+      s;
+    !h
+  in
+  let partition ~by_key workers l =
+    let parts = Array.make workers [] in
+    List.iteri
+      (fun i v ->
+        let p =
+          if by_key then
+            let k, _ = as_kv v in
+            fnv1a32 (Value.to_string k) mod workers
+          else i mod workers
+        in
+        parts.(p) <- v :: parts.(p))
+      l;
+    Array.map List.rev parts
+  in
+  let group_fold f records =
+    Multiset.group_by_key (List.map as_kv records)
+    |> List.map (fun (k, vs) ->
+           match vs with
+           | [] -> assert false
+           | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
+  in
+  (* the old exec charged records_in/bytes_in/records_out/bytes_out on
+     every stage; sink the folds so they cannot be dead-code-eliminated *)
+  let sink = ref 0 in
+  let account inl out =
+    sink :=
+      !sink + List.length inl + bytes_of inl + List.length out + bytes_of out
+  in
+  let baseline_reduce l =
+    let out = group_fold add_i l in
+    (* combiner accounting: partition by key, re-group-fold per
+       partition (exactly the old engine's second pass) *)
+    let parts = partition ~by_key:true Cluster.spark.Cluster.workers l in
+    sink :=
+      !sink
+      + Array.fold_left
+          (fun a part -> a + bytes_of (group_fold add_i part))
+          0 parts;
+    account l out;
+    out
+  in
+  let baseline_group l =
+    let out =
+      Multiset.group_by_key (List.map as_kv l)
+      |> List.map (fun (k, vs) -> Value.Tuple [ k; Value.List vs ])
+    in
+    account l out;
+    out
+  in
+  (* grouped baselines emit in first-seen order; the batched engine
+     sorts by key string — canonicalize before comparing semantics *)
+  let sort_by_key l =
+    List.sort
+      (fun a b ->
+        String.compare
+          (Value.to_string (fst (as_kv a)))
+          (Value.to_string (fst (as_kv b))))
+      l
+  in
+  let stages =
+    [
+      ( "flatMap",
+        words,
+        Plan.(data "d" |>> flat_map fm),
+        (fun l ->
+          let out = List.concat_map fm l in
+          account l out;
+          out),
+        false );
+      ( "filter",
+        words,
+        Plan.(data "d" |>> filter pred),
+        (fun l ->
+          let out = List.filter pred l in
+          account l out;
+          out),
+        false );
+      ( "mapValues",
+        kvs,
+        Plan.(data "d" |>> map_values mv),
+        (fun l ->
+          let out =
+            List.map
+              (fun r ->
+                let k, v = as_kv r in
+                Value.Tuple [ k; mv v ])
+              l
+          in
+          account l out;
+          out),
+        false );
+      ( "reduceByKey",
+        kvs,
+        Plan.(data "d" |>> reduce_by_key ~comm_assoc:true add_i),
+        baseline_reduce,
+        true );
+      ( "groupByKey",
+        kvs,
+        Plan.(data "d" |>> group_by_key ()),
+        baseline_group,
+        true );
+      ( "wordcount",
+        words,
+        Plan.(
+          data "d"
+          |>> map_to_pair (fun w -> (w, Value.Int 1))
+          |>> reduce_by_key ~comm_assoc:true add_i),
+        (fun l ->
+          let pairs =
+            List.concat_map (fun w -> [ Value.Tuple [ w; Value.Int 1 ] ]) l
+          in
+          account l pairs;
+          baseline_reduce pairs),
+        true );
+    ]
+  in
+  let reps = 5 in
+  let time_min f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Obs.wall_clock () in
+      let r = f () in
+      let dt = Obs.wall_clock () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let host = Domain.recommended_domain_count () in
+  let jobs_cfg = List.map (fun j -> (j, min j host)) [ 1; 2; 4 ] in
+  let per_s records wall =
+    if wall > 0.0 then float_of_int records /. wall else 0.0
+  in
+  let rows = ref [] and json_stages = ref [] in
+  List.iter
+    (fun (name, input, plan, baseline, grouped) ->
+      let records = List.length input in
+      let base_out, base_wall =
+        (* the old run_plan also charged input_records/input_bytes with
+           two list walks before the first stage ran *)
+        time_min (fun () ->
+            sink := !sink + List.length input + bytes_of input;
+            baseline input)
+      in
+      let engine_runs =
+        List.map
+          (fun (req, eff) ->
+            let run, wall =
+              Par.with_pool ~jobs:eff @@ fun pool ->
+              time_min (fun () ->
+                  Engine.run_plan ~pool ~cluster:Cluster.spark
+                    ~datasets:[ ("d", input) ] plan)
+            in
+            ((req, eff), run, wall))
+          jobs_cfg
+      in
+      (* identical-output assertions: every pool size equals jobs=1, and
+         the batched output equals the list semantics (key-sorted for
+         grouped stages) *)
+      let (_, r1, _) = List.hd engine_runs in
+      List.iter
+        (fun ((req, _), r, _) ->
+          if r.Engine.output <> r1.Engine.output then
+            failwith
+              (Fmt.str "engine_perf: %s output differs at jobs=%d" name req))
+        engine_runs;
+      let canon_base = if grouped then sort_by_key base_out else base_out in
+      if r1.Engine.output <> canon_base then
+        failwith
+          (Fmt.str "engine_perf: %s batched output differs from list engine"
+             name);
+      let base_ps = per_s records base_wall in
+      let eng_ps =
+        List.map (fun (je, _, wall) -> (je, per_s records wall)) engine_runs
+      in
+      let ps1 = snd (List.hd eng_ps) in
+      rows :=
+        ([
+           name;
+           string_of_int records;
+           Fmt.str "%.0f" base_ps;
+           Fmt.str "%.0f" ps1;
+           T.fx (ps1 /. base_ps);
+         ]
+        @ List.map (fun (_, ps) -> Fmt.str "%.0f" ps) (List.tl eng_ps))
+        :: !rows;
+      json_stages :=
+        J.Obj
+          [
+            ("stage", J.Str name);
+            ("records", J.Int records);
+            ("baseline_records_per_s", J.Float base_ps);
+            ("speedup_vs_list_jobs1", J.Float (ps1 /. base_ps));
+            ( "engine",
+              J.List
+                (List.map
+                   (fun ((req, eff), ps) ->
+                     J.Obj
+                       [
+                         ("jobs", J.Int req);
+                         ("jobs_effective", J.Int eff);
+                         ("records_per_s", J.Float ps);
+                       ])
+                   eng_ps) );
+          ]
+        :: !json_stages)
+    stages;
+  T.print
+    ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([
+       "Stage"; "records"; "list rec/s"; "batched j1"; "vs list";
+       "j2 rec/s"; "j4 rec/s";
+     ]
+    :: List.rev !rows);
+  Fmt.pr
+    "@.outputs identical across pool sizes and vs list semantics: yes@.host \
+     recommended domains: %d (requested 1/2/4 clamp to effective)@."
+    host;
+  ignore !sink;
+  J.write_file "BENCH_engine.json"
+    (J.Obj
+       [
+         ("schema", J.Str "casper-bench-engine/v1");
+         ("records", J.Int n);
+         ("reps", J.Int reps);
+         ("identical_outputs", J.Bool true);
+         ("recommended_domains", J.Int host);
+         ("stages", J.List (List.rev !json_stages));
+       ]);
+  Fmt.pr "wrote BENCH_engine.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
@@ -1363,6 +1643,7 @@ let sections_list =
     ("fault_tolerance", fault_tolerance);
     ("synth_perf", synth_perf);
     ("par_scaling", par_scaling);
+    ("engine_perf", engine_perf);
     ("micro", micro);
   ]
 

@@ -40,22 +40,26 @@ let equal_values (a : Value.t t) (b : Value.t t) =
        (List.sort Value.compare b)
 
 (** Group a bag of key-value pairs by key; the per-key bags preserve
-    first-seen key order for deterministic iteration. *)
+    first-seen key order for deterministic iteration. Accumulates into
+    mutable cells so each pair costs one hash lookup (no
+    [Hashtbl.replace] re-probe per record). *)
 let group_by_key (pairs : (Value.t * Value.t) list) :
     (Value.t * Value.t list) list =
-  let tbl = Hashtbl.create 64 in
+  let tbl : (string, Value.t * Value.t list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let order = ref [] in
   List.iter
     (fun (k, v) ->
       let key = Value.to_string k in
       match Hashtbl.find_opt tbl key with
-      | Some (k0, vs) -> Hashtbl.replace tbl key (k0, v :: vs)
+      | Some (_, cell) -> cell := v :: !cell
       | None ->
-          Hashtbl.add tbl key (k, [ v ]);
+          Hashtbl.add tbl key (k, ref [ v ]);
           order := key :: !order)
     pairs;
   List.rev_map
     (fun key ->
-      let k, vs = Hashtbl.find tbl key in
-      (k, List.rev vs))
+      let k, cell = Hashtbl.find tbl key in
+      (k, List.rev !cell))
     !order

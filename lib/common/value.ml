@@ -91,6 +91,14 @@ let rec size_of : t -> int = function
   | Tuple xs | List xs -> 8 + List.fold_left (fun a x -> a + size_of x) 0 xs
   | Struct (_, fs) -> 8 + List.fold_left (fun a (_, v) -> a + size_of v) 0 fs
 
+let size_of_array (vs : t array) : int =
+  let s = ref 0 in
+  Array.iter (fun v -> s := !s + size_of v) vs;
+  !s
+
+let size_of_list (vs : t list) : int =
+  List.fold_left (fun a v -> a + size_of v) 0 vs
+
 let rec pp ppf = function
   | Int n -> Fmt.int ppf n
   | Float f -> Fmt.float ppf f
@@ -103,7 +111,40 @@ let rec pp ppf = function
         Fmt.(list ~sep:comma (pair ~sep:(any "=") string pp))
         fs
 
-let to_string v = Fmt.str "%a" pp v
+(* [to_string] sits on the engine's hottest path: every keyed shuffle
+   stringifies each record's key to hash and group by. Spinning up a
+   formatter per call ([Fmt.str]) costs more than the conversion
+   itself, so scalar keys — the overwhelmingly common case — take a
+   direct path. Scalars render on one line regardless of margin, so
+   the bytes are identical to the [pp] output ([Fmt.int] is ["%d"],
+   [Fmt.float] is ["%g"], and [Printf]'s ["%S"] matches [Format]'s);
+   a property test pins the equivalence. Nested values keep the
+   formatter so any future pretty-printing tweaks stay in one place. *)
+let to_string v =
+  match v with
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Str s ->
+      (* printable ASCII without quote/backslash renders under %S as
+         itself between quotes; anything else falls back to the stdlib
+         escaper *)
+      let n = String.length s in
+      let plain = ref true in
+      for i = 0 to n - 1 do
+        let c = s.[i] in
+        if c < ' ' || c > '~' || c = '"' || c = '\\' then plain := false
+      done;
+      if !plain then begin
+        let b = Bytes.create (n + 2) in
+        Bytes.set b 0 '"';
+        Bytes.blit_string s 0 b 1 n;
+        Bytes.set b (n + 1) '"';
+        Bytes.unsafe_to_string b
+      end
+      else Printf.sprintf "%S" s
+  | Tuple _ | List _ | Struct _ -> Fmt.str "%a" pp v
 
 (* Convenience accessors: raise on type mismatch, which in this codebase
    indicates a bug in type inference upstream. *)

@@ -34,6 +34,12 @@ val equal_approx : t -> t -> bool
     28-byte Boolean pairs). *)
 val size_of : t -> int
 
+(** Summed {!size_of} over a whole array/list in one pass — the
+    engine's batch accounting primitive. *)
+val size_of_array : t array -> int
+
+val size_of_list : t list -> int
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

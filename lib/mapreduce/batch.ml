@@ -1,0 +1,100 @@
+(** Array-backed record batches with fused volume accounting. See
+    batch.mli. *)
+
+module Value = Casper_common.Value
+
+type t = {
+  data : Value.t array;
+  mutable bytes_memo : int;  (** total [size_of]; [-1] = not yet computed *)
+}
+
+let of_array ?bytes data =
+  { data; bytes_memo = (match bytes with Some b -> b | None -> -1) }
+
+let of_list l = of_array (Array.of_list l)
+let to_list b = Array.to_list b.data
+let data b = b.data
+let length b = Array.length b.data
+let get b i = b.data.(i)
+let empty () = of_array ~bytes:0 [||]
+
+let bytes b =
+  if b.bytes_memo >= 0 then b.bytes_memo
+  else begin
+    let s = ref 0 in
+    Array.iter (fun v -> s := !s + Value.size_of v) b.data;
+    b.bytes_memo <- !s;
+    !s
+  end
+
+type chunk = { out : Value.t array; out_bytes : int }
+
+(* placeholder for pre-sized buffers; never observable in results *)
+let dummy = Value.Int 0
+
+let map_range f b ~pos ~len =
+  let src = b.data in
+  let by = ref 0 in
+  let out =
+    Array.init len (fun i ->
+        let v = f src.(pos + i) in
+        by := !by + Value.size_of v;
+        v)
+  in
+  { out; out_bytes = !by }
+
+let filter_range p b ~pos ~len =
+  let src = b.data in
+  let out = Array.make len dummy in
+  let count = ref 0 and by = ref 0 in
+  for i = pos to pos + len - 1 do
+    let v = src.(i) in
+    if p v then begin
+      out.(!count) <- v;
+      incr count;
+      by := !by + Value.size_of v
+    end
+  done;
+  {
+    out = (if !count = len then out else Array.sub out 0 !count);
+    out_bytes = !by;
+  }
+
+let concat_map_range f b ~pos ~len =
+  let src = b.data in
+  let cap = ref (max 8 len) in
+  let buf = ref (Array.make !cap dummy) in
+  let count = ref 0 and by = ref 0 in
+  let push v =
+    if !count = !cap then begin
+      let grown = Array.make (2 * !cap) dummy in
+      Array.blit !buf 0 grown 0 !count;
+      buf := grown;
+      cap := 2 * !cap
+    end;
+    !buf.(!count) <- v;
+    incr count;
+    by := !by + Value.size_of v
+  in
+  for i = pos to pos + len - 1 do
+    List.iter push (f src.(i))
+  done;
+  {
+    out = (if !count = !cap then !buf else Array.sub !buf 0 !count);
+    out_bytes = !by;
+  }
+
+let concat = function
+  | [] -> empty ()
+  | [ c ] -> of_array ~bytes:c.out_bytes c.out
+  | cs ->
+      let total = List.fold_left (fun a c -> a + Array.length c.out) 0 cs in
+      let arr = Array.make total dummy in
+      let off = ref 0 and by = ref 0 in
+      List.iter
+        (fun c ->
+          Array.blit c.out 0 arr !off (Array.length c.out);
+          off := !off + Array.length c.out;
+          by := !by + c.out_bytes)
+        cs;
+      of_array ~bytes:!by arr

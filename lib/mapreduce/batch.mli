@@ -1,0 +1,56 @@
+(** Array-backed record batches: the engine's physical data plane.
+
+    A batch is an immutable-by-convention [Value.t array] plus a cached
+    total byte size under {!Casper_common.Value.size_of}. Stage kernels
+    ([map]/[filter]/[flatmap]) run as tight array loops over contiguous
+    index ranges and fuse volume accounting into the same pass: each
+    kernel returns the records it produced *and* their summed byte
+    size, so the engine never re-walks a dataset with a separate
+    [List.length] + [size_of] fold. Ranges are the engine's parallel
+    task unit — one pool task per range, concatenated in submission
+    order, which keeps outputs byte-identical to the sequential pass at
+    any pool size (DESIGN.md §11). *)
+
+module Value = Casper_common.Value
+
+type t
+
+(** Wrap an array. [bytes], when the caller already knows it (because
+    the producing pass accumulated it), seeds the cache; otherwise the
+    first {!bytes} call computes and memoizes it. The array is owned by
+    the batch afterwards — callers must not mutate it. *)
+val of_array : ?bytes:int -> Value.t array -> t
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+(** The backing array, for single-pass consumers (grouping, folds).
+    Read-only by convention. *)
+val data : t -> Value.t array
+
+val length : t -> int
+val get : t -> int -> Value.t
+
+(** Total [Value.size_of] of the records, cached after the first call
+    (or seeded at construction by a fused kernel). *)
+val bytes : t -> int
+
+val empty : unit -> t
+
+(** The result of one stage kernel over one range: the produced records
+    and their byte size, accumulated in the producing loop. *)
+type chunk = { out : Value.t array; out_bytes : int }
+
+(** [map_range f b ~pos ~len]: [f] over [b.(pos .. pos+len-1)], sizes
+    fused. *)
+val map_range : (Value.t -> Value.t) -> t -> pos:int -> len:int -> chunk
+
+val filter_range : (Value.t -> bool) -> t -> pos:int -> len:int -> chunk
+
+val concat_map_range :
+  (Value.t -> Value.t list) -> t -> pos:int -> len:int -> chunk
+
+(** Concatenate kernel results in list order into one batch; byte sizes
+    sum without another pass. A singleton list adopts the chunk's array
+    without copying. *)
+val concat : chunk list -> t

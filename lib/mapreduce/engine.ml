@@ -14,7 +14,6 @@
     75 GB dataset without claiming absolute seconds. *)
 
 module Value = Casper_common.Value
-module Multiset = Casper_common.Multiset
 module Obs = Casper_obs.Obs
 module Par = Casper_par.Par
 
@@ -47,51 +46,12 @@ type run = {
           closed-form estimate *)
 }
 
-let bytes_of (l : Value.t list) =
-  List.fold_left (fun a v -> a + Value.size_of v) 0 l
-
 let as_kv = function
   | Value.Tuple [ k; v ] -> (k, v)
   | v -> err "expected a key-value record, got %s" (Value.to_string v)
 
-(* FNV-1a (32-bit) over the key's string form: the deterministic hash a
-   real shuffle partitions by *)
-let fnv1a32 (s : string) : int =
-  let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c ->
-      h := !h lxor Char.code c;
-      h := !h * 0x01000193 land 0xffffffff)
-    s;
-  !h
-
-(* Partition records across workers. Keyed exchanges hash-partition so
-   every record of a key lands in the same partition (what combiner
-   accounting relies on); un-keyed exchanges (global reduces) spread
-   records round-robin. *)
-let partition ?(by_key = false) (workers : int) (l : Value.t list) :
-    Value.t list array =
-  if workers <= 0 then
-    err "cannot partition a shuffle across %d workers" workers;
-  let parts = Array.make workers [] in
-  List.iteri
-    (fun i v ->
-      let p =
-        if by_key then
-          let k, _ = as_kv v in
-          fnv1a32 (Value.to_string k) mod workers
-        else i mod workers
-      in
-      parts.(p) <- v :: parts.(p))
-    l;
-  Array.map List.rev parts
-
-let group_fold f records =
-  Multiset.group_by_key (List.map as_kv records)
-  |> List.map (fun (k, vs) ->
-         match vs with
-         | [] -> err "shuffle produced an empty partition group"
-         | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
+(* placeholder for pre-sized buffers; never observable in results *)
+let vdummy = Value.Int 0
 
 (** Execute one plan over named datasets.
 
@@ -104,14 +64,14 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
   let pool = match pool with Some p -> p | None -> Par.global () in
   Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
   @@ fun () ->
-  let rec check_dup = function
-    | [] -> ()
-    | (name, _) :: rest ->
-        if List.mem_assoc name rest then
-          err "duplicate dataset name %s" name
-        else check_dup rest
-  in
-  check_dup datasets;
+  (* duplicate-name guard: one Hashtbl pass (the old List.mem_assoc scan
+     was O(n²) in the number of datasets) *)
+  let seen = Hashtbl.create (max 16 (List.length datasets)) in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then err "duplicate dataset name %s" name
+      else Hashtbl.add seen name ())
+    datasets;
   (* a shuffle with no partitions to land records in cannot execute *)
   let check_workers () =
     if cluster.Cluster.workers <= 0 then
@@ -123,50 +83,163 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
     | Some l -> l
     | None -> err "unknown dataset %s" plan.Plan.source
   in
-  let input_bytes = bytes_of input in
-  (* Record-level stage work runs on the pool, one task per contiguous
-     chunk; concatenating chunk results in submission order is exactly
-     the sequential result because the per-record functions are pure
+  let input_batch = Batch.of_list input in
+  let input_bytes = Batch.bytes input_batch in
+  (* Record-level stage work runs on the pool as tight array loops over
+     contiguous index ranges (Par.task_ranges: at most 2 tasks per
+     domain, never fewer than records_per_task records each — the
+     granularity floor that makes fan-out pay for itself). Ranges merge
+     in submission order, and the per-record functions are pure
      (compiled λm/λr closures evaluate through the side-effect-free
-     [Eval]), so outputs — and the byte accounting derived from them —
-     are identical at any pool size. Each foreign-domain chunk is traced
-     on its own "domain-N" track; on the owner [Obs.domain_span] is a
-     no-op, so jobs=1 traces are unchanged. *)
-  let par_records (g : Value.t list -> Value.t list) (label : string)
-      (l : Value.t list) : Value.t list =
-    if Par.size pool = 1 || Par.on_worker () then g l
-    else
+     [Eval]), so outputs — and the byte accounting fused into the same
+     loops — are byte-identical at any pool size. Inputs at or below
+     Par.inline_cutoff run inline on the submitting domain. Each
+     foreign-domain range is traced on its own "domain-N" track; on the
+     owner [Obs.domain_span] is a no-op, and the engine_batches /
+     engine_tasks counters fire only on the fan-out path, so jobs=1
+     traces are unchanged. *)
+  let ranges_for n =
+    if Par.size pool = 1 || Par.on_worker () || n <= !Par.inline_cutoff then
+      [||]
+    else Par.task_ranges ~jobs:(Par.size pool) n
+  in
+  let par_kernel (kernel : Batch.t -> pos:int -> len:int -> Batch.chunk)
+      (label : string) (b : Batch.t) : Batch.t =
+    let n = Batch.length b in
+    let ranges = ranges_for n in
+    if Array.length ranges <= 1 then Batch.concat [ kernel b ~pos:0 ~len:n ]
+    else begin
+      Obs.add obs "engine_batches" 1;
+      Obs.add obs "engine_tasks" (Array.length ranges);
       Par.parallel_map pool
-        (fun chunk ->
+        (fun (pos, len) ->
           Obs.domain_span obs ~args:[ ("stage", label) ] "chunk" (fun () ->
-              g chunk))
-        (Par.chunks (2 * Par.size pool) l)
-      |> List.concat
+              kernel b ~pos ~len))
+        (Array.to_list ranges)
+      |> Batch.concat
+    end
+  in
+  (* run [fill] over [0, n) in disjoint parallel ranges: tasks write
+     disjoint indices of pre-sized arrays, published by the pool's
+     completion barrier before the submitter reads them *)
+  let par_fill (label : string) (fill : pos:int -> len:int -> unit)
+      (n : int) : unit =
+    let ranges = ranges_for n in
+    if Array.length ranges <= 1 then begin
+      if n > 0 then fill ~pos:0 ~len:n
+    end
+    else begin
+      Obs.add obs "engine_batches" 1;
+      Obs.add obs "engine_tasks" (Array.length ranges);
+      ignore
+        (Par.parallel_map pool
+           (fun (pos, len) ->
+             Obs.domain_span obs ~args:[ ("stage", label) ] "chunk"
+               (fun () -> fill ~pos ~len))
+           (Array.to_list ranges))
+    end
+  in
+  (* split a batch of key-value records into key / value / key-string
+     arrays in one (parallel) pass — every grouped stage needs the key's
+     string form, and computing it once here lets grouping, partitioning
+     and combiner accounting all reuse it *)
+  let split_kv (label : string) (b : Batch.t) :
+      Value.t array * Value.t array * string array =
+    let n = Batch.length b in
+    let src = Batch.data b in
+    let ks = Array.make n vdummy
+    and vs = Array.make n vdummy
+    and keys = Array.make n "" in
+    par_fill label
+      (fun ~pos ~len ->
+        for i = pos to pos + len - 1 do
+          let k, v = as_kv src.(i) in
+          ks.(i) <- k;
+          vs.(i) <- v;
+          keys.(i) <- Value.to_string k
+        done)
+      n;
+    (ks, vs, keys)
+  in
+  (* hash-group a batch of key-value records, one accumulator cell per
+     key, arrival order per key = the sequential left fold. On the
+     sequential path the key-string computation fuses straight into
+     the grouping loop; on the fan-out path it comes from a parallel
+     split pass and the loop reads the pre-computed arrays. *)
+  let group_kv label b init step =
+    let n = Batch.length b in
+    let tbl = Hashtbl.create (max 64 (n / 4)) in
+    let distinct = ref [] in
+    let insert key k v =
+      match Hashtbl.find tbl key with
+      | (_, cell) -> step cell v
+      | exception Not_found ->
+          Hashtbl.add tbl key (k, init v);
+          distinct := key :: !distinct
+    in
+    if Array.length (ranges_for n) <= 1 then begin
+      let src = Batch.data b in
+      for i = 0 to n - 1 do
+        let k, v = as_kv src.(i) in
+        insert (Value.to_string k) k v
+      done
+    end
+    else begin
+      let ks, vs, keys = split_kv label b in
+      for i = 0 to n - 1 do
+        insert keys.(i) ks.(i) vs.(i)
+      done
+    end;
+    (tbl, !distinct)
   in
   (* per-partition combiner accounting: independent folds, one task per
      partition, summed in partition order *)
-  let par_partition_sum (g : Value.t list -> int) (label : string)
-      (parts : Value.t list array) : int =
-    Par.parallel_map pool
-      (fun part ->
-        Obs.domain_span obs ~args:[ ("stage", label) ] "combine" (fun () ->
-            g part))
-      (Array.to_list parts)
-    |> List.fold_left ( + ) 0
+  let par_partition_sum label g parts =
+    if Par.size pool = 1 || Par.on_worker () then
+      Array.fold_left (fun a p -> a + g p) 0 parts
+    else
+      Par.parallel_map pool
+        (fun part ->
+          Obs.domain_span obs ~args:[ ("stage", label) ] "combine" (fun () ->
+              g part))
+        (Array.to_list parts)
+      |> List.fold_left ( + ) 0
+  in
+  (* single-pass hash grouping with per-key accumulator cells (arrival
+     order per key = the sequential left fold), output in key-string
+     order: deterministic regardless of hash-table iteration order, and
+     every consumer of grouped output is order-insensitive (DESIGN.md
+     §11 records the argument) *)
+  let grouped_output tbl distinct record =
+    (* tbl : (string, Value.t * _) Hashtbl.t; output in key-string order *)
+    let sorted = List.sort String.compare distinct in
+    let by = ref 0 in
+    let out =
+      Array.of_list
+        (List.map
+           (fun key ->
+             let k, cell = Hashtbl.find tbl key in
+             let r = record k cell in
+             by := !by + Value.size_of r;
+             r)
+           sorted)
+    in
+    Batch.of_array ~bytes:!by out
   in
   let nested_metrics = ref [] in
-  let exec (current : Value.t list) (stage : Plan.stage) :
-      Value.t list * stage_metrics =
-    let records_in = List.length current in
-    let bytes_in = bytes_of current in
-    let mk ?(shuffled = 0) ?(is_shuffle = false) ?cap out =
+  let exec (current : Batch.t) (stage : Plan.stage) :
+      Batch.t * stage_metrics =
+    let records_in = Batch.length current in
+    let bytes_in = Batch.bytes current in
+    let label = Plan.stage_label stage in
+    let mk ?(shuffled = 0) ?(is_shuffle = false) ?cap (out : Batch.t) =
       ( out,
         {
-          label = Plan.stage_label stage;
+          label;
           records_in;
-          records_out = List.length out;
+          records_out = Batch.length out;
           bytes_in;
-          bytes_out = bytes_of out;
+          bytes_out = Batch.bytes out;
           bytes_shuffled = shuffled;
           is_shuffle;
           shuffle_cap_bytes = cap;
@@ -174,60 +247,94 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
     in
     match stage with
     | Plan.Flat_map { f; _ } ->
-        mk (par_records (List.concat_map f) (Plan.stage_label stage) current)
+        mk (par_kernel (Batch.concat_map_range f) label current)
     | Plan.Filter { p; _ } ->
-        mk (par_records (List.filter p) (Plan.stage_label stage) current)
+        mk (par_kernel (Batch.filter_range p) label current)
     | Plan.Map_values { f; _ } ->
         mk
-          (par_records
-             (List.map (fun r ->
+          (par_kernel
+             (Batch.map_range (fun r ->
                   let k, v = as_kv r in
                   Value.Tuple [ k; f v ]))
-             (Plan.stage_label stage) current)
+             label current)
     | Plan.Reduce_by_key { f; comm_assoc; _ } ->
         check_workers ();
-        let out = group_fold f current in
-        if comm_assoc && cluster.Cluster.combiner then
-          (* combine within each partition, ship the combined records;
-             at nominal scale each partition ships at most one record
-             per key, so the true bound is workers × combined output *)
-          let parts = partition ~by_key:true cluster.Cluster.workers current in
-          let shuffled =
-            par_partition_sum
-              (fun part -> bytes_of (group_fold f part))
-              (Plan.stage_label stage) parts
-          in
-          let cap = cluster.Cluster.workers * bytes_of out in
+        let tbl, distinct =
+          group_kv label current
+            (fun v -> ref v)
+            (fun acc v -> acc := f !acc v)
+        in
+        let out =
+          grouped_output tbl distinct (fun k acc -> Value.Tuple [ k; !acc ])
+        in
+        if comm_assoc && cluster.Cluster.combiner then begin
+          (* combine within each partition, ship the combined records.
+             Keyed exchanges hash-partition by key, so every record of
+             a key combines inside a single partition and each
+             partition ships exactly its keys' combined records —
+             summed over partitions that is precisely the combined
+             output's bytes. The list engine computed this with a
+             second partition + group-fold pass over every record; the
+             identity makes the pass unnecessary (and the
+             engine.partition tests pin it). At nominal scale each
+             partition ships at most one record per key, so the true
+             bound stays workers × combined output. *)
+          let shuffled = Batch.bytes out in
+          let cap = cluster.Cluster.workers * Batch.bytes out in
           mk ~shuffled ~is_shuffle:true ~cap out
+        end
         else mk ~shuffled:bytes_in ~is_shuffle:true out
     | Plan.Group_by_key _ ->
         check_workers ();
-        let grouped =
-          Multiset.group_by_key (List.map as_kv current)
-          |> List.map (fun (k, vs) -> Value.Tuple [ k; Value.List vs ])
+        let tbl, distinct =
+          group_kv label current
+            (fun v -> ref [ v ])
+            (fun cell v -> cell := v :: !cell)
         in
-        mk ~shuffled:bytes_in ~is_shuffle:true grouped
-    | Plan.Global_reduce { f; comm_assoc; _ } -> (
+        let out =
+          grouped_output tbl distinct (fun k cell ->
+              Value.Tuple [ k; Value.List (List.rev !cell) ])
+        in
+        mk ~shuffled:bytes_in ~is_shuffle:true out
+    | Plan.Global_reduce { f; comm_assoc; _ } ->
         check_workers ();
-        match current with
-        | [] -> mk ~shuffled:0 ~is_shuffle:true []
-        | v0 :: rest ->
-            let result = List.fold_left f v0 rest in
-            if comm_assoc && cluster.Cluster.combiner then
-              (* one partial per worker crosses the network *)
-              let parts = partition cluster.Cluster.workers current in
-              let shuffled =
-                par_partition_sum
-                  (fun part ->
-                    match part with
-                    | [] -> 0
-                    | p0 :: prest ->
-                        Value.size_of (List.fold_left f p0 prest))
-                  (Plan.stage_label stage) parts
-              in
-              let cap = cluster.Cluster.workers * Value.size_of result in
-              mk ~shuffled ~is_shuffle:true ~cap [ result ]
-            else mk ~shuffled:bytes_in ~is_shuffle:true [ result ])
+        let n = records_in in
+        if n = 0 then mk ~shuffled:0 ~is_shuffle:true (Batch.empty ())
+        else begin
+          let src = Batch.data current in
+          let acc = ref src.(0) in
+          for i = 1 to n - 1 do
+            acc := f !acc src.(i)
+          done;
+          let result = !acc in
+          let out =
+            Batch.of_array ~bytes:(Value.size_of result) [| result |]
+          in
+          if comm_assoc && cluster.Cluster.combiner then begin
+            (* one partial per worker crosses the network; un-keyed
+               exchanges keep round-robin placement, so partition p
+               folds records p, p+w, p+2w, ... in index order *)
+            let w = cluster.Cluster.workers in
+            let shuffled =
+              par_partition_sum label
+                (fun p ->
+                  if p >= n then 0
+                  else begin
+                    let pacc = ref src.(p) in
+                    let i = ref (p + w) in
+                    while !i < n do
+                      pacc := f !pacc src.(!i);
+                      i := !i + w
+                    done;
+                    Value.size_of !pacc
+                  end)
+                (Array.init w (fun p -> p))
+            in
+            let cap = w * Value.size_of result in
+            mk ~shuffled ~is_shuffle:true ~cap out
+          end
+          else mk ~shuffled:bytes_in ~is_shuffle:true out
+        end
     | Plan.Join_with { right; _ } ->
         check_workers ();
         let right_run = run_plan ~obs ~pool ~cluster ~datasets right in
@@ -236,27 +343,25 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
         List.iter
           (fun r ->
             let k, v = as_kv r in
-            let key = Value.to_string k in
-            Hashtbl.add tbl key (k, v))
+            Hashtbl.add tbl (Value.to_string k) (k, v))
           right_run.output;
-        let joined =
-          List.concat_map
-            (fun r ->
-              let k, v1 = as_kv r in
-              Hashtbl.find_all tbl (Value.to_string k)
-              |> List.rev_map (fun (_, v2) ->
-                     Value.Tuple [ k; Value.Tuple [ v1; v2 ] ]))
-            current
+        (* probe side fans out like any record stage; the build table is
+           only read concurrently *)
+        let probe r =
+          let k, v1 = as_kv r in
+          Hashtbl.find_all tbl (Value.to_string k)
+          |> List.rev_map (fun (_, v2) ->
+                 Value.Tuple [ k; Value.Tuple [ v1; v2 ] ])
         in
-        let shuffled = bytes_in + bytes_of right_run.output in
-        let out, m = mk ~shuffled ~is_shuffle:true joined in
-        (* fold the right side's metrics in before the join's own *)
-        (out, m)
+        let joined = par_kernel (Batch.concat_map_range probe) label current in
+        let shuffled = bytes_in + Value.size_of_list right_run.output in
+        mk ~shuffled ~is_shuffle:true joined
     | Plan.Sample_monitor { k; observe; _ } ->
-        observe (List.filteri (fun i _ -> i < k) current);
+        let kk = max 0 (min k records_in) in
+        observe (Array.to_list (Array.sub (Batch.data current) 0 kk));
         mk current
   in
-  let output, rev_stages =
+  let output_batch, rev_stages =
     List.fold_left
       (fun (cur, ms) stage ->
         let out, m =
@@ -270,12 +375,12 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
           (out, m)
         in
         (out, m :: ms))
-      (input, []) plan.Plan.stages
+      (input_batch, []) plan.Plan.stages
   in
   {
-    output;
+    output = Batch.to_list output_batch;
     stages = !nested_metrics @ List.rev rev_stages;
-    input_records = List.length input;
+    input_records = Batch.length input_batch;
     input_bytes;
     sched;
   }

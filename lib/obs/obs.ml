@@ -393,3 +393,25 @@ let write_trace (path : string) c : unit =
   J.write_file path (to_chrome c);
   let metrics_path = Filename.remove_extension path ^ ".metrics.json" in
   J.write_file metrics_path (metrics c)
+
+(* ------------------------------------------------------------------ *)
+(* Once-per-process warnings                                           *)
+
+(* Keyed so a hot path (pool construction, per-run clamping) can warn
+   on every call site without flooding stderr: the first call per key
+   prints, later ones are no-ops. Mutex-guarded — warners may race from
+   several domains. *)
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+let warned_lock = Mutex.create ()
+
+let warn_once ~(key : string) (msg : string) : bool =
+  let first =
+    Mutex.protect warned_lock (fun () ->
+        if Hashtbl.mem warned key then false
+        else begin
+          Hashtbl.add warned key ();
+          true
+        end)
+  in
+  if first then Fmt.epr "casper: warning: %s@." msg;
+  first

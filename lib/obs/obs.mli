@@ -95,3 +95,10 @@ val to_chrome_string : ctx -> string
 (** Write the Chrome trace to [path] and the flat metrics next to it,
     as [<path minus extension>.metrics.json]. *)
 val write_trace : string -> ctx -> unit
+
+(** [warn_once ~key msg] prints ["casper: warning: <msg>"] to stderr
+    the first time [key] is seen in this process and is a no-op after;
+    returns whether it printed. Safe to call from any domain. Used for
+    configuration diagnostics that would otherwise repeat on every run
+    (e.g. the {!Casper_par.Par.recommended_jobs} domain clamp). *)
+val warn_once : key:string -> string -> bool

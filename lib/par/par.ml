@@ -295,6 +295,38 @@ let filter ?(chunks_per_job = 2) (p : pool) (f : 'a -> bool) (xs : 'a list) :
   else List.concat (chunked p ~chunks_per_job (List.filter f) xs)
 
 (* ------------------------------------------------------------------ *)
+(* Task granularity for array-backed stages                            *)
+
+(* Engine data-plane policy (DESIGN.md §11): a parallel task should own
+   at least [records_per_task] records, and inputs at or below
+   [inline_cutoff] records skip the pool entirely — per-record work is
+   so cheap that task handoff would dominate below these floors (the
+   PR 5 regression: one task per list chunk made jobs=4 run 3.7x
+   slower). Mutable so tests and the difftest oracle can force tiny
+   batches to exercise range boundaries; read on the submitting domain
+   only (at split time), so no synchronization is needed. *)
+let default_records_per_task = 4096
+let default_inline_cutoff = 2048
+let records_per_task = ref default_records_per_task
+let inline_cutoff = ref default_inline_cutoff
+
+(* [task_ranges ~jobs n]: contiguous [(pos, len)] ranges covering
+   [0, n), in index order, sizes differing by at most one. The count is
+   [min (2 * jobs) (ceil (n / records_per_task))] — at most two tasks
+   per domain (steal balance), never finer than the granularity
+   floor. *)
+let task_ranges ~jobs (n : int) : (int * int) array =
+  if n <= 0 then [||]
+  else begin
+    let per = max 1 !records_per_task in
+    let by_floor = (n + per - 1) / per in
+    let k = max 1 (min by_floor (2 * max 1 jobs)) in
+    Array.init k (fun i ->
+        let lo = i * n / k and hi = (i + 1) * n / k in
+        (lo, hi - lo))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Process-wide default pool                                           *)
 
 let env_jobs () =
@@ -310,6 +342,26 @@ let global_pool : pool option ref = ref None
 let glock = Mutex.create ()
 
 let jobs () = match !override with Some n -> n | None -> env_jobs ()
+
+(* [recommended_jobs ()] clamps the requested pool size to the host's
+   [Domain.recommended_domain_count]: asking for more domains than
+   cores makes the engine *slower* (oversubscribed stealing), so the
+   default pool never oversubscribes. Explicit [create ~jobs] is left
+   unclamped — determinism tests deliberately run 4-domain pools on
+   1-core hosts. Warns once per process when clamping. *)
+let recommended_jobs () =
+  let requested = jobs () in
+  let host = Domain.recommended_domain_count () in
+  if requested > host then begin
+    ignore
+      (Casper_obs.Obs.warn_once ~key:"par.jobs-clamped"
+         (Printf.sprintf
+            "requested %d jobs but host recommends %d domains; clamping \
+             (explicit Par.create ~jobs is not clamped)"
+            requested host));
+    host
+  end
+  else requested
 
 let set_jobs (n : int) : unit =
   if n < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
@@ -327,6 +379,6 @@ let global () : pool =
       match !global_pool with
       | Some p -> p
       | None ->
-          let p = create ~jobs:(jobs ()) in
+          let p = create ~jobs:(recommended_jobs ()) in
           global_pool := Some p;
           p)

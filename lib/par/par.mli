@@ -65,6 +65,25 @@ val filter : ?chunks_per_job:int -> pool -> ('a -> bool) -> 'a list -> 'a list
 val chunks : int -> 'a list -> 'a list list
 
 (* ------------------------------------------------------------------ *)
+(* Task granularity for array-backed stages (engine data plane).       *)
+
+(** Target records per parallel task for array-backed stages. Tasks
+    never own fewer records than this (except the last range of an
+    input). Mutable so tests can force tiny tasks; default 4096. *)
+val records_per_task : int ref
+
+(** Inputs with at most this many records run inline on the submitting
+    domain — task handoff would cost more than the work. Mutable for
+    tests; default 2048. *)
+val inline_cutoff : int ref
+
+(** [task_ranges ~jobs n]: contiguous [(pos, len)] ranges covering
+    [0, n) in index order, sizes differing by at most one. At most
+    [2 * jobs] ranges, and no more than [ceil (n / !records_per_task)]
+    — the granularity floor. [[||]] when [n <= 0]. *)
+val task_ranges : jobs:int -> int -> (int * int) array
+
+(* ------------------------------------------------------------------ *)
 (* The process-wide default pool, shared by every [--jobs]-aware entry
    point.                                                              *)
 
@@ -81,5 +100,12 @@ val set_jobs : int -> unit
     {!env_jobs}. *)
 val jobs : unit -> int
 
-(** The lazily-created process-wide pool at {!jobs} parallelism. *)
+(** {!jobs} clamped to [Domain.recommended_domain_count ()]. Warns once
+    per process (via [Obs.warn_once]) when the request exceeds the
+    host's core count — oversubscribed domain pools run *slower* than
+    sequential. Explicit {!create} calls are not clamped. *)
+val recommended_jobs : unit -> int
+
+(** The lazily-created process-wide pool at {!recommended_jobs}
+    parallelism. *)
 val global : unit -> pool

@@ -1,0 +1,272 @@
+(** Batch-equivalence properties for the array-backed engine data plane:
+    every batched stage must produce the same output and the same volume
+    accounting as the reference list semantics, at every pool size and
+    at every task granularity — including one-record tasks, which force
+    every range boundary. *)
+
+module Plan = Mapreduce.Plan
+module Engine = Mapreduce.Engine
+module Cluster = Mapreduce.Cluster
+module Value = Casper_common.Value
+module Par = Casper_par.Par
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* shared pools, spawned once for the whole suite *)
+let pools =
+  lazy (List.map (fun j -> (j, Par.create ~jobs:j)) [ 1; 2; 4 ])
+
+let granularities = [ 1; 7; 1024 ]
+
+(* run a plan with a forced task granularity and no inline path, so
+   even tiny property inputs exercise the parallel fan-out *)
+let run_batched ~jobs ~rpt plan datasets =
+  let pool = List.assoc jobs (Lazy.force pools) in
+  let saved_rpt = !Par.records_per_task
+  and saved_ic = !Par.inline_cutoff in
+  Fun.protect
+    ~finally:(fun () ->
+      Par.records_per_task := saved_rpt;
+      Par.inline_cutoff := saved_ic)
+    (fun () ->
+      Par.records_per_task := rpt;
+      Par.inline_cutoff := 0;
+      Engine.run_plan ~pool ~cluster:Cluster.spark ~datasets plan)
+
+(* every (jobs, granularity) combination must agree with [expected]
+   structurally, and all runs must report identical stage metrics *)
+let agrees_everywhere plan datasets expected =
+  let runs =
+    List.concat_map
+      (fun (jobs, _) ->
+        List.map (fun rpt -> run_batched ~jobs ~rpt plan datasets)
+          granularities)
+      (Lazy.force pools)
+  in
+  match runs with
+  | [] -> false
+  | r0 :: rest ->
+      r0.Engine.output = expected
+      && List.for_all
+           (fun (r : Engine.run) ->
+             r.Engine.output = expected && r.Engine.stages = r0.Engine.stages)
+           rest
+
+(* ---------------- reference list semantics ---------------- *)
+
+let as_kv = function
+  | Value.Tuple [ k; v ] -> (k, v)
+  | _ -> assert false
+
+(* hash-group with per-key arrival order, output sorted by key string —
+   the documented semantics of the batched grouped stages *)
+let ref_group (pairs : (Value.t * Value.t) list) :
+    (Value.t * Value.t list) list =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (k, v) ->
+      let key = Value.to_string k in
+      match Hashtbl.find_opt tbl key with
+      | Some (_, cell) -> cell := v :: !cell
+      | None ->
+          Hashtbl.add tbl key (k, ref [ v ]);
+          order := key :: !order)
+    pairs;
+  List.sort String.compare !order
+  |> List.map (fun key ->
+         let k, cell = Hashtbl.find tbl key in
+         (k, List.rev !cell))
+
+let ref_reduce_by_key f records =
+  ref_group (List.map as_kv records)
+  |> List.map (fun (k, vs) ->
+         match vs with
+         | [] -> assert false
+         | v0 :: rest -> Value.Tuple [ k; List.fold_left f v0 rest ])
+
+let ref_group_by_key records =
+  ref_group (List.map as_kv records)
+  |> List.map (fun (k, vs) -> Value.Tuple [ k; Value.List vs ])
+
+let ref_global_reduce f = function
+  | [] -> []
+  | v0 :: rest -> [ List.fold_left f v0 rest ]
+
+(* ---------------- generators ---------------- *)
+
+(* deterministic per-record functions with branching on the value *)
+let fm v =
+  if Value.size_of v mod 2 = 0 then [ v; Value.Int (Value.size_of v) ]
+  else []
+
+let pred v = Value.size_of v mod 3 <> 0
+let mv v = Value.Tuple [ v; Value.Int (Value.size_of v) ]
+
+(* a non-commutative combiner: any reordering or re-association the
+   engine might sneak in changes the result structurally *)
+let combine a b = Value.Tuple [ a; b ]
+
+let key_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_bound 5);
+        map (fun i -> Value.Str (String.make 1 (Char.chr (97 + i))))
+          (int_bound 3);
+      ])
+
+let bag_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map Value.to_string l))
+    QCheck.Gen.(list_size (int_bound 60) Test_common.value_gen)
+
+let kv_bag_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map Value.to_string l))
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (map
+           (fun (k, v) -> Value.Tuple [ k; v ])
+           (pair key_gen Test_common.value_gen)))
+
+let mk_prop name arb plan_of expected_of =
+  QCheck.Test.make ~name ~count:20 arb (fun records ->
+      agrees_everywhere (plan_of ()) [ ("d", records) ] (expected_of records))
+
+(* ---------------- stage properties ---------------- *)
+
+let prop_flat_map =
+  mk_prop "flatMap = list semantics at all jobs x granularities" bag_arb
+    (fun () -> Plan.(data "d" |>> flat_map fm))
+    (List.concat_map fm)
+
+let prop_filter =
+  mk_prop "filter = list semantics" bag_arb
+    (fun () -> Plan.(data "d" |>> filter pred))
+    (List.filter pred)
+
+let prop_map_values =
+  mk_prop "mapValues = list semantics" kv_bag_arb
+    (fun () -> Plan.(data "d" |>> map_values mv))
+    (List.map (fun r ->
+         let k, v = as_kv r in
+         Value.Tuple [ k; mv v ]))
+
+let prop_reduce_by_key =
+  mk_prop "reduceByKey = hash-group + key sort" kv_bag_arb
+    (fun () -> Plan.(data "d" |>> reduce_by_key combine))
+    (ref_reduce_by_key combine)
+
+let prop_reduce_by_key_no_ca =
+  mk_prop "reduceByKey (no combiner) = hash-group + key sort" kv_bag_arb
+    (fun () -> Plan.(data "d" |>> reduce_by_key ~comm_assoc:false combine))
+    (ref_reduce_by_key combine)
+
+let prop_group_by_key =
+  mk_prop "groupByKey = hash-group + key sort" kv_bag_arb
+    (fun () -> Plan.(data "d" |>> group_by_key ()))
+    ref_group_by_key
+
+let prop_global_reduce =
+  mk_prop "globalReduce = left fold" bag_arb
+    (fun () -> Plan.(data "d" |>> global_reduce combine))
+    (ref_global_reduce combine)
+
+let prop_pipeline =
+  mk_prop "flatMap |> filter |> reduceByKey pipeline" kv_bag_arb
+    (fun () ->
+      Plan.(
+        data "d" |>> flat_map fm |>> filter pred
+        |>> map_to_pair (fun v -> (Value.Int (Value.size_of v mod 4), v))
+        |>> reduce_by_key combine))
+    (fun records ->
+      List.concat_map fm records |> List.filter pred
+      |> List.map (fun v ->
+             Value.Tuple [ Value.Int (Value.size_of v mod 4); v ])
+      |> ref_reduce_by_key combine)
+
+(* ---------------- edge cases ---------------- *)
+
+let edge_plans =
+  [
+    ("flatMap", Plan.(data "d" |>> flat_map fm));
+    ("filter", Plan.(data "d" |>> filter pred));
+    ("mapValues", Plan.(data "d" |>> map_values mv));
+    ("reduceByKey", Plan.(data "d" |>> reduce_by_key combine));
+    ("groupByKey", Plan.(data "d" |>> group_by_key ()));
+    ("globalReduce", Plan.(data "d" |>> global_reduce combine));
+  ]
+
+let edge_expected name records =
+  match name with
+  | "flatMap" -> List.concat_map fm records
+  | "filter" -> List.filter pred records
+  | "mapValues" ->
+      List.map
+        (fun r ->
+          let k, v = as_kv r in
+          Value.Tuple [ k; mv v ])
+        records
+  | "reduceByKey" -> ref_reduce_by_key combine records
+  | "groupByKey" -> ref_group_by_key records
+  | "globalReduce" -> ref_global_reduce combine records
+  | _ -> assert false
+
+let test_empty_input () =
+  List.iter
+    (fun (name, plan) ->
+      check (name ^ " on empty input") true
+        (agrees_everywhere plan [ ("d", []) ] (edge_expected name [])))
+    edge_plans
+
+let test_single_record () =
+  let records = [ Value.Tuple [ Value.Int 1; Value.Str "x" ] ] in
+  List.iter
+    (fun (name, plan) ->
+      check (name ^ " on one record") true
+        (agrees_everywhere plan [ ("d", records) ] (edge_expected name records)))
+    edge_plans
+
+(* the output of a grouped stage is sorted by the key's string form *)
+let test_grouped_output_sorted () =
+  let records =
+    List.map
+      (fun i -> Value.Tuple [ Value.Int (10 - i); Value.Int i ])
+      (List.init 10 (fun i -> i))
+  in
+  let r =
+    run_batched ~jobs:1 ~rpt:1024
+      Plan.(data "d" |>> reduce_by_key combine)
+      [ ("d", records) ]
+  in
+  let keys =
+    List.map (fun v -> Value.to_string (fst (as_kv v))) r.Engine.output
+  in
+  check "keys sorted" true (keys = List.sort String.compare keys);
+  check_int "all keys present" 10 (List.length keys)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [
+    qsuite "batch.props"
+      [
+        prop_flat_map;
+        prop_filter;
+        prop_map_values;
+        prop_reduce_by_key;
+        prop_reduce_by_key_no_ca;
+        prop_group_by_key;
+        prop_global_reduce;
+        prop_pipeline;
+      ];
+    ( "batch.edges",
+      [
+        Alcotest.test_case "empty input" `Quick test_empty_input;
+        Alcotest.test_case "single record" `Quick test_single_record;
+        Alcotest.test_case "grouped output key-sorted" `Quick
+          test_grouped_output_sorted;
+      ] );
+  ]

@@ -55,6 +55,12 @@ let prop_size_positive =
   QCheck.Test.make ~name:"size_of is positive" ~count:200 value_arb (fun v ->
       Value.size_of v > 0)
 
+(* to_string has a formatter-free fast path for scalars (the engine's
+   shuffle keys); it must render exactly the same bytes as [pp] *)
+let prop_to_string_matches_pp =
+  QCheck.Test.make ~name:"to_string equals the pp rendering" ~count:300
+    value_arb (fun v -> String.equal (Value.to_string v) (Fmt.str "%a" Value.pp v))
+
 let test_sizes () =
   check_int "bool size (paper: 10)" 10 (Value.size_of (Value.Bool true));
   check_int "int size" 12 (Value.size_of (Value.Int 5));
@@ -225,6 +231,7 @@ let suite =
         prop_compare_antisym;
         prop_equal_approx_refl;
         prop_size_positive;
+        prop_to_string_matches_pp;
       ];
     ( "common.multiset",
       [ Alcotest.test_case "group_by_key" `Quick test_group_by_key ] );

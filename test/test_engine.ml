@@ -111,6 +111,26 @@ let test_duplicate_dataset () =
   | exception Engine.Engine_error _ -> ()
   | _ -> Alcotest.fail "expected engine error on duplicate dataset name"
 
+(* the guard is a single hash pass, so a plan binding many distinct
+   datasets resolves fine and a duplicate buried deep in the list is
+   still caught *)
+let test_many_datasets () =
+  let many n =
+    List.init n (fun i -> (Printf.sprintf "d%d" i, ints [ i ]))
+  in
+  let p = Plan.(data "d1234") in
+  let r = run ~datasets:(many 5000) p in
+  check "deep dataset resolves" true (r.Engine.output = ints [ 1234 ]);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match run ~datasets:(many 5000 @ [ ("d4999", ints [ 0 ]) ]) p with
+  | exception Engine.Engine_error msg ->
+      check "error names the duplicate" true (contains msg "d4999")
+  | _ -> Alcotest.fail "expected engine error on deep duplicate"
+
 let test_shuffle_without_workers () =
   let p =
     Plan.(data "d" |>> map_to_pair (fun x -> (x, x)) |>> reduce_by_key add_i)
@@ -244,6 +264,7 @@ let suite =
         Alcotest.test_case "metrics" `Quick test_metrics_bytes;
         Alcotest.test_case "unknown dataset" `Quick test_unknown_dataset;
         Alcotest.test_case "duplicate dataset" `Quick test_duplicate_dataset;
+        Alcotest.test_case "many datasets" `Quick test_many_datasets;
         Alcotest.test_case "shuffle without workers" `Quick
           test_shuffle_without_workers;
         Alcotest.test_case "shuffle count" `Quick test_shuffle_count;

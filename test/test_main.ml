@@ -7,4 +7,5 @@ let () =
    @ Test_engine.suite @ Test_sched.suite @ Test_cost.suite
    @ Test_codegen.suite @ Test_baselines.suite @ Test_extensions.suite
    @ Test_workloads.suite @ Test_suites.suite @ Test_fastpath.suite
-   @ Test_difftest.suite @ Test_obs.suite @ Test_par.suite)
+   @ Test_difftest.suite @ Test_obs.suite @ Test_par.suite
+   @ Test_batch.suite)

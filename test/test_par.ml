@@ -151,11 +151,79 @@ let test_sched_trace_same_seed_jobs4 () =
   check_string "jobs=4 sched trace equals jobs=1 trace" (trace_of (run_at 1))
     t_a
 
+(* ---------------- task granularity -------------------------------- *)
+
+let task_ranges_partition =
+  QCheck.Test.make ~name:"task_ranges is an ordered balanced partition"
+    ~count:300
+    QCheck.(pair (int_range 1 8) (int_range 0 20000))
+    (fun (jobs, n) ->
+      let ranges = Par.task_ranges ~jobs n in
+      if n = 0 then ranges = [||]
+      else begin
+        let k = Array.length ranges in
+        let covered =
+          Array.to_list ranges
+          |> List.fold_left
+               (fun acc (pos, len) ->
+                 match acc with
+                 | Some next when pos = next && len >= 0 -> Some (next + len)
+                 | _ -> None)
+               (Some 0)
+        in
+        let sizes = Array.to_list (Array.map snd ranges) in
+        let mn = List.fold_left min max_int sizes in
+        let mx = List.fold_left max 0 sizes in
+        covered = Some n
+        && k <= 2 * jobs
+        && k <= (n + !Par.records_per_task - 1) / !Par.records_per_task
+        && mx - mn <= 1
+      end)
+
+let test_task_ranges_granularity_floor () =
+  (* 10k records at the default 4096-record floor: at most 3 tasks no
+     matter how many domains *)
+  check "floor caps task count" true
+    (Array.length (Par.task_ranges ~jobs:8 10_000) <= 3);
+  (* tiny granularity: capped by 2 * jobs instead *)
+  let saved = !Par.records_per_task in
+  Par.records_per_task := 1;
+  check_int "2 tasks per domain" 8 (Array.length (Par.task_ranges ~jobs:4 100));
+  Par.records_per_task := saved;
+  check "n<=0 is empty" true (Par.task_ranges ~jobs:4 0 = [||])
+
+let test_recommended_jobs_clamp () =
+  let host = Domain.recommended_domain_count () in
+  let saved = Par.jobs () in
+  Par.set_jobs (host + 3);
+  let clamped = Par.recommended_jobs () in
+  Par.set_jobs 1;
+  let at_one = Par.recommended_jobs () in
+  Par.set_jobs saved;
+  check_int "over-subscription clamps to host cores" host clamped;
+  check_int "1 job never clamps" 1 at_one
+
+let test_warn_once_is_once () =
+  let key = "test.par.warn-once-key" in
+  check "first warn fires" true (Casper_obs.Obs.warn_once ~key "warned");
+  check "second warn suppressed" false
+    (Casper_obs.Obs.warn_once ~key "warned again")
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suite =
   [
-    qsuite "par.props" [ combinators_match_list; chunks_partition ];
+    qsuite "par.props"
+      [ combinators_match_list; chunks_partition; task_ranges_partition ];
+    ( "par.granularity",
+      [
+        Alcotest.test_case "task_ranges granularity floor" `Quick
+          test_task_ranges_granularity_floor;
+        Alcotest.test_case "recommended_jobs clamps to host" `Quick
+          test_recommended_jobs_clamp;
+        Alcotest.test_case "warn_once fires once" `Quick
+          test_warn_once_is_once;
+      ] );
     ( "par.pool",
       [
         Alcotest.test_case "lowest-index exception propagates" `Quick
