@@ -1571,6 +1571,139 @@ let engine_perf () =
   Fmt.pr "wrote BENCH_engine.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core shuffle: in-memory vs memory-budgeted grouping           *)
+
+(** Wall-clock overhead of the spill path on scaled wordcount and
+    groupByKey runs at shrinking memory budgets, with hard
+    output-equality assertions against the in-memory path (a failure
+    here is a correctness bug, not a perf regression). Spill volumes
+    (runs written, bytes spilled, merge fan-in) come from an extra
+    instrumented run per point, outside the timed reps. Results land in
+    [BENCH_spill.json]. *)
+let spill_perf () =
+  section "Out-of-core shuffle: in-memory vs budgeted spill (wall-clock)";
+  let n = 60_000 in
+  let rng = Rng.create 29 in
+  let words =
+    Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:1000 ~skew:1.1)
+  in
+  let add_i a b = Value.Int (Value.as_int a + Value.as_int b) in
+  let workloads =
+    [
+      ( "wordcount",
+        Plan.(
+          data "d"
+          |>> map_to_pair (fun w -> (w, Value.Int 1))
+          |>> reduce_by_key ~comm_assoc:true add_i) );
+      ( "groupByKey",
+        Plan.(
+          data "d" |>> map_to_pair (fun w -> (w, Value.Int 1))
+          |>> group_by_key ()) );
+    ]
+  in
+  (* 0 = the in-memory reference; the rest force progressively more
+     spilling (at 16 KiB the 60k-record shuffle writes dozens of runs) *)
+  let budgets =
+    [ ("in-memory", 0); ("256K", 262144); ("64K", 65536); ("16K", 16384) ]
+  in
+  let datasets = [ ("d", words) ] in
+  let reps = 5 in
+  let time_min f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Obs.wall_clock () in
+      let r = f () in
+      let dt = Obs.wall_clock () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let rows = ref [] and json_workloads = ref [] in
+  List.iter
+    (fun (name, plan) ->
+      let run_at memory_budget =
+        Engine.run_plan ~memory_budget ~cluster:Cluster.spark ~datasets plan
+      in
+      let mem_run, mem_wall = time_min (fun () -> run_at 0) in
+      let json_budgets =
+        List.map
+          (fun (blabel, budget) ->
+            let r, wall =
+              if budget = 0 then (mem_run, mem_wall)
+              else time_min (fun () -> run_at budget)
+            in
+            (* byte-identity is the whole point: outputs AND accounting *)
+            if r.Engine.output <> mem_run.Engine.output then
+              failwith
+                (Fmt.str "spill_perf: %s output differs at budget %s" name
+                   blabel);
+            if r.Engine.stages <> mem_run.Engine.stages then
+              failwith
+                (Fmt.str "spill_perf: %s stage accounting differs at budget \
+                          %s" name blabel);
+            let obs = Obs.create () in
+            (if budget > 0 then
+               let rs =
+                 Engine.run_plan ~obs ~memory_budget:budget
+                   ~cluster:Cluster.spark ~datasets plan
+               in
+               if rs.Engine.output <> mem_run.Engine.output then
+                 failwith
+                   (Fmt.str "spill_perf: %s instrumented run differs" name));
+            let runs_written = Obs.total obs "spill_runs" in
+            let bytes_spilled = Obs.total obs "spill_bytes" in
+            let fanin = Obs.total obs "spill_merge_fanin" in
+            let overhead = if mem_wall > 0.0 then wall /. mem_wall else 1.0 in
+            rows :=
+              [
+                name;
+                blabel;
+                Fmt.str "%.1f" (wall *. 1e3);
+                T.fx overhead;
+                string_of_int runs_written;
+                Fmt.str "%.1f" (float_of_int bytes_spilled /. 1024.0);
+                string_of_int fanin;
+              ]
+              :: !rows;
+            J.Obj
+              [
+                ("budget", J.Str blabel);
+                ("budget_bytes", J.Int budget);
+                ("wall_s", J.Float wall);
+                ("overhead_vs_memory", J.Float overhead);
+                ("runs_written", J.Int runs_written);
+                ("bytes_spilled", J.Int bytes_spilled);
+                ("merge_fanin", J.Int fanin);
+              ])
+          budgets
+      in
+      json_workloads :=
+        J.Obj
+          [ ("workload", J.Str name); ("budgets", J.List json_budgets) ]
+        :: !json_workloads)
+    workloads;
+  T.print
+    ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([
+       "Workload"; "budget"; "wall ms"; "vs mem"; "runs"; "spilled KiB";
+       "fan-in";
+     ]
+    :: List.rev !rows);
+  Fmt.pr
+    "@.outputs and stage accounting identical at every budget: yes@.";
+  J.write_file "BENCH_spill.json"
+    (J.Obj
+       [
+         ("schema", J.Str "casper-bench-spill/v1");
+         ("records", J.Int n);
+         ("reps", J.Int reps);
+         ("identical_outputs", J.Bool true);
+         ("workloads", J.List (List.rev !json_workloads));
+       ]);
+  Fmt.pr "wrote BENCH_spill.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 
 let micro () =
@@ -1644,6 +1777,7 @@ let sections_list =
     ("synth_perf", synth_perf);
     ("par_scaling", par_scaling);
     ("engine_perf", engine_perf);
+    ("spill_perf", spill_perf);
     ("micro", micro);
   ]
 

@@ -52,6 +52,12 @@ type config = {
           multicore-runtime determinism contract, DESIGN.md §10).
           Inside a pool worker the nested runs execute inline, so the
           stage degrades to a sequential self-comparison there. *)
+  check_spill : bool;
+      (** re-run the translated program with a forced ~1 KB memory
+          budget — every grouped stage spills sorted runs to disk —
+          and again with injected spill-file losses; outputs and stage
+          accounting must be byte-identical to the in-memory path
+          (the out-of-core shuffle contract, DESIGN.md §12) *)
 }
 
 let default_config ?(seed = 0) () =
@@ -68,6 +74,7 @@ let default_config ?(seed = 0) () =
     synth = { Cegis.default_config with Cegis.max_candidates = 60_000 };
     check_fastpath = true;
     check_parallel = Some 4;
+    check_spill = true;
   }
 
 type divergence = {
@@ -361,6 +368,51 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
                                             n))
                                   cfg.backends))
                     | _ -> ());
+                    (* out-of-core shuffle: a ~1 KB budget forces every
+                       grouped stage to spill sorted runs; outputs and
+                       stage accounting must be byte-identical to the
+                       forced in-memory path — also under a fault
+                       profile that loses half the run files at merge
+                       time (recovered from lineage). First state only:
+                       the engine path is state-independent. *)
+                    if cfg.check_spill && ei = 0 then
+                      List.iter
+                        (fun (cluster : Cluster.t) ->
+                          let tag = "spill:" ^ cluster.Cluster.name in
+                          let rm =
+                            Engine.run_plan ~memory_budget:0 ~cluster
+                              ~datasets t.Compile.plan
+                          in
+                          let rs =
+                            Engine.run_plan ~memory_budget:1024 ~cluster
+                              ~datasets t.Compile.plan
+                          in
+                          if rs.Engine.output <> rm.Engine.output then
+                            fail tag
+                              "outputs differ at a 1 KB budget vs in-memory";
+                          if rs.Engine.stages <> rm.Engine.stages then
+                            fail tag
+                              "stage accounting differs at a 1 KB budget vs \
+                               in-memory";
+                          let sched =
+                            Sched.Coordinator.config
+                              ~faults:
+                                (Sched.Faults.spill_faults
+                                   ~seed:(cfg.input_seed + 5) 0.5)
+                              ()
+                          in
+                          let rf =
+                            Engine.run_plan ~sched ~memory_budget:1024
+                              ~cluster ~datasets t.Compile.plan
+                          in
+                          if
+                            rf.Engine.output <> rm.Engine.output
+                            || rf.Engine.stages <> rm.Engine.stages
+                          then
+                            fail tag
+                              "spill-file faults changed outputs or \
+                               accounting")
+                        cfg.backends;
                     List.iter
                       (fun profile ->
                         let sched =

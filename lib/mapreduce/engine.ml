@@ -59,9 +59,37 @@ let vdummy = Value.Int 0
     (the plan's reads would silently resolve to whichever binding comes
     first) and when a shuffle stage runs on a cluster with no worker
     slots to partition across. *)
-let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
-    ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+let rec run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget
+    ~(cluster : Cluster.t) ~(datasets : (string * Value.t list) list)
+    (plan : Plan.t) : run =
   let pool = match pool with Some p -> p | None -> Par.global () in
+  (* spill budget: an explicit argument wins ([<= 0] means unbounded,
+     so callers can force the in-memory path whatever the environment
+     says); otherwise the process default (CASPER_MEM_BUDGET) *)
+  let budget =
+    match memory_budget with
+    | Some b when b > 0 -> Some b
+    | Some _ -> None
+    | None -> Spill.default_budget ()
+  in
+  (* spill-file I/O faults come from the scheduler's fault profile; the
+     draws are seeded per run_plan and happen sequentially on the
+     submitting domain, so a (profile, plan, budget) triple always
+     replays the same loss timeline at any pool size *)
+  let spill_fault =
+    match sched with
+    | None -> None
+    | Some config ->
+        let fp = config.Sched.Coordinator.faults in
+        let p = fp.Sched.Faults.spill_fault_prob in
+        if p > 0.0 then begin
+          let rng =
+            lazy (Casper_common.Rng.create (fp.Sched.Faults.seed + 0x51f4))
+          in
+          Some (fun () -> Casper_common.Rng.bernoulli (Lazy.force rng) p)
+        end
+        else None
+  in
   Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
   @@ fun () ->
   (* duplicate-name guard: one Hashtbl pass (the old List.mem_assoc scan
@@ -226,6 +254,41 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
     in
     Batch.of_array ~bytes:!by out
   in
+  (* out-of-core variant of [group_kv] + [grouped_output]: feed the
+     records in arrival order through a budgeted {!Spill} grouper —
+     which keeps values raw, spilling sorted runs when the estimated
+     live bytes exceed the budget — and fold each key's values in
+     arrival order at merge time. The fold is applied to exactly the
+     same values in exactly the same order and the output comes out in
+     the same ascending key-string order, so outputs and the byte
+     accounting are identical to the in-memory path at any budget
+     (DESIGN.md §12). The [Fun.protect] sweep guarantees no temp file
+     survives a raising reduce function. *)
+  let grouped_spill label (b : Batch.t) ~spill_budget ~init ~step ~record :
+      Batch.t =
+    let src = Batch.data b in
+    let lineage i =
+      let k, v = as_kv src.(i) in
+      (Value.to_string k, k, v)
+    in
+    let g =
+      Spill.create ~obs ?fault:spill_fault ~lineage ~budget:spill_budget
+        ~label ()
+    in
+    try
+      Fun.protect ~finally:(fun () -> Spill.cleanup g) @@ fun () ->
+      for i = 0 to Batch.length b - 1 do
+        let k, v = as_kv src.(i) in
+        Spill.add g (Value.to_string k) k v
+      done;
+      let rev = ref [] and by = ref 0 in
+      Spill.finish g ~init ~step ~record
+        ~emit:(fun r ->
+          by := !by + Value.size_of r;
+          rev := r :: !rev);
+      Batch.of_array ~bytes:!by (Array.of_list (List.rev !rev))
+    with Spill.Spill_error m -> err "spill (%s): %s" label m
+  in
   let nested_metrics = ref [] in
   let exec (current : Batch.t) (stage : Plan.stage) :
       Batch.t * stage_metrics =
@@ -259,13 +322,16 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
              label current)
     | Plan.Reduce_by_key { f; comm_assoc; _ } ->
         check_workers ();
-        let tbl, distinct =
-          group_kv label current
-            (fun v -> ref v)
-            (fun acc v -> acc := f !acc v)
-        in
+        let init v = ref v
+        and step acc v = acc := f !acc v
+        and record k acc = Value.Tuple [ k; !acc ] in
         let out =
-          grouped_output tbl distinct (fun k acc -> Value.Tuple [ k; !acc ])
+          match budget with
+          | Some spill_budget ->
+              grouped_spill label current ~spill_budget ~init ~step ~record
+          | None ->
+              let tbl, distinct = group_kv label current init step in
+              grouped_output tbl distinct record
         in
         if comm_assoc && cluster.Cluster.combiner then begin
           (* combine within each partition, ship the combined records.
@@ -286,14 +352,16 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
         else mk ~shuffled:bytes_in ~is_shuffle:true out
     | Plan.Group_by_key _ ->
         check_workers ();
-        let tbl, distinct =
-          group_kv label current
-            (fun v -> ref [ v ])
-            (fun cell v -> cell := v :: !cell)
-        in
+        let init v = ref [ v ]
+        and step cell v = cell := v :: !cell
+        and record k cell = Value.Tuple [ k; Value.List (List.rev !cell) ] in
         let out =
-          grouped_output tbl distinct (fun k cell ->
-              Value.Tuple [ k; Value.List (List.rev !cell) ])
+          match budget with
+          | Some spill_budget ->
+              grouped_spill label current ~spill_budget ~init ~step ~record
+          | None ->
+              let tbl, distinct = group_kv label current init step in
+              grouped_output tbl distinct record
         in
         mk ~shuffled:bytes_in ~is_shuffle:true out
     | Plan.Global_reduce { f; comm_assoc; _ } ->
@@ -337,7 +405,9 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ~(cluster : Cluster.t)
         end
     | Plan.Join_with { right; _ } ->
         check_workers ();
-        let right_run = run_plan ~obs ~pool ~cluster ~datasets right in
+        let right_run =
+          run_plan ?sched ?memory_budget ~obs ~pool ~cluster ~datasets right
+        in
         nested_metrics := !nested_metrics @ right_run.stages;
         let tbl = Hashtbl.create 256 in
         List.iter

@@ -46,12 +46,25 @@ type run = {
     work and per-partition combiner accounting across its domains;
     outputs and accounting are byte-identical at any pool size (see
     DESIGN.md §10).
+
+    [memory_budget] bounds the estimated live bytes a grouped shuffle
+    (reduceByKey / groupByKey) may buffer before spilling sorted runs
+    of {!Codec}-encoded records to temp files, merged back at reduce
+    time ({!Spill}; DESIGN.md §12). [<= 0] forces the in-memory path;
+    when absent the default is {!Spill.default_budget} (environment
+    [CASPER_MEM_BUDGET]). Outputs, stage metrics and traces are
+    byte-identical at any budget. When [sched]'s fault profile sets
+    [spill_fault_prob], run files are lost with that probability at
+    merge time and re-materialized from lineage, without observable
+    effect on results.
     @raise Engine_error on unknown or duplicate dataset names, shape
-    errors, and shuffles on a cluster with no worker slots. *)
+    errors, shuffles on a cluster with no worker slots, and spill I/O
+    failures. *)
 val run_plan :
   ?sched:Sched.Coordinator.config ->
   ?obs:Casper_obs.Obs.ctx ->
   ?pool:Casper_par.Par.pool ->
+  ?memory_budget:int ->
   cluster:Cluster.t ->
   datasets:(string * Value.t list) list ->
   Plan.t ->

@@ -1,0 +1,459 @@
+(** Memory-budgeted external grouping. See spill.mli. *)
+
+module Value = Casper_common.Value
+module Obs = Casper_obs.Obs
+
+exception Spill_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Spill_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide configuration                                          *)
+
+let env_budget =
+  lazy
+    (match Sys.getenv_opt "CASPER_MEM_BUDGET" with
+    | None -> None
+    | Some raw -> (
+        match int_of_string_opt (String.trim raw) with
+        | Some b when b > 0 -> Some b
+        | Some _ -> None (* 0 or negative: explicitly unbounded *)
+        | None ->
+            ignore
+              (Obs.warn_once ~key:"mem-budget"
+                 (Printf.sprintf
+                    "CASPER_MEM_BUDGET=%S is not an integer; running unbounded"
+                    raw)
+                : bool);
+            None))
+
+(* [None] = fall through to the environment *)
+let default_override : int option option ref = ref None
+
+let default_budget () =
+  match !default_override with
+  | Some forced -> forced
+  | None -> Lazy.force env_budget
+
+let with_default_budget b f =
+  let saved = !default_override in
+  default_override := Some b;
+  Fun.protect ~finally:(fun () -> default_override := saved) f
+
+let base = ref None
+
+let base_dir () =
+  match !base with
+  | Some d -> d
+  | None ->
+      let d =
+        match Sys.getenv_opt "CASPER_SPILL_DIR" with
+        | Some d when d <> "" -> d
+        | _ -> Filename.get_temp_dir_name ()
+      in
+      base := Some d;
+      d
+
+let set_base_dir d = base := Some d
+let max_fanin = ref 64
+
+(* ------------------------------------------------------------------ *)
+(* In-memory buffer: one entry per distinct key, values kept raw and in
+   reverse arrival order (merging partially folded accumulators would
+   break byte-identity for non-associative reduce functions)            *)
+
+type entry = { ek : Value.t; mutable vals_rev : Value.t list }
+
+type table = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable distinct : string list;
+  mutable count : int;  (* records, not keys *)
+}
+
+let table_create () = { tbl = Hashtbl.create 64; distinct = []; count = 0 }
+
+let table_add m key k v =
+  (match Hashtbl.find_opt m.tbl key with
+  | Some e -> e.vals_rev <- v :: e.vals_rev
+  | None ->
+      Hashtbl.add m.tbl key { ek = k; vals_rev = [ v ] };
+      m.distinct <- key :: m.distinct);
+  m.count <- m.count + 1
+
+(* a run covers the consecutive arrival window [lo, hi) *)
+type run = { path : string; lo : int; hi : int }
+
+type t = {
+  budget : int;
+  obs : Obs.ctx;
+  label : string;
+  fault : (unit -> bool) option;
+  lineage : int -> string * Value.t * Value.t;
+  mutable mem : table;
+  mutable live_bytes : int;
+  mutable added : int;  (* arrival counter *)
+  mutable window_lo : int;  (* first arrival still in [mem] *)
+  mutable runs : run list;  (* newest first *)
+  mutable nruns : int;
+  mutable fileno : int;
+  mutable dir : string option;  (* created on first spill *)
+  mutable runs_written : int;
+  mutable bytes_spilled : int;
+  mutable merge_fanin : int;
+  mutable io_faults : int;
+  mutable cleaned : bool;
+}
+
+type stats = {
+  runs_written : int;
+  bytes_spilled : int;
+  merge_fanin : int;
+  io_faults : int;
+}
+
+let stats (t : t) : stats =
+  {
+    runs_written = t.runs_written;
+    bytes_spilled = t.bytes_spilled;
+    merge_fanin = t.merge_fanin;
+    io_faults = t.io_faults;
+  }
+
+let create ?(obs = Obs.null) ?fault ~lineage ~budget ~label () =
+  if budget <= 0 then err "budget must be positive, got %d" budget;
+  {
+    budget;
+    obs;
+    label;
+    fault;
+    lineage;
+    mem = table_create ();
+    live_bytes = 0;
+    added = 0;
+    window_lo = 0;
+    runs = [];
+    nruns = 0;
+    fileno = 0;
+    dir = None;
+    runs_written = 0;
+    bytes_spilled = 0;
+    merge_fanin = 0;
+    io_faults = 0;
+    cleaned = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Temp files                                                          *)
+
+let dir_counter = Atomic.make 0
+
+(* no unix dep: probe names until mkdir succeeds (the counter is
+   process-wide, so collisions only come from other processes) *)
+let fresh_dir () =
+  let parent = base_dir () in
+  let rec go tries =
+    if tries > 1000 then err "cannot create a spill directory under %s" parent;
+    let name = Printf.sprintf "casper-spill-%d" (Atomic.fetch_and_add dir_counter 1) in
+    let path = Filename.concat parent name in
+    match Sys.mkdir path 0o700 with
+    | () -> path
+    | exception Sys_error _ when Sys.file_exists path -> go (tries + 1)
+    | exception Sys_error m -> err "cannot create spill directory: %s" m
+  in
+  go 0
+
+let dir_of t =
+  match t.dir with
+  | Some d -> d
+  | None ->
+      let d = fresh_dir () in
+      t.dir <- Some d;
+      d
+
+let fresh_path t =
+  let n = t.fileno in
+  t.fileno <- n + 1;
+  Filename.concat (dir_of t) (Printf.sprintf "run-%d.spill" n)
+
+let cleanup t =
+  if not t.cleaned then begin
+    t.cleaned <- true;
+    List.iter (fun r -> try Sys.remove r.path with Sys_error _ -> ()) t.runs;
+    t.runs <- [];
+    t.nruns <- 0;
+    match t.dir with
+    | None -> ()
+    | Some d -> ( try Sys.rmdir d with Sys_error _ -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Run files: Codec header, then per key (ascending key-string order):
+   varint key-string length + key string, framed key value, varint
+   value count, framed values in arrival order                         *)
+
+type writer = { oc : out_channel; buf : Buffer.t; mutable bytes : int }
+
+let writer_open path =
+  let oc = try open_out_bin path with Sys_error m -> err "open %s: %s" path m in
+  let buf = Buffer.create 65536 in
+  Codec.write_header buf;
+  { oc; buf; bytes = 0 }
+
+let writer_flush w =
+  w.bytes <- w.bytes + Buffer.length w.buf;
+  Buffer.output_buffer w.oc w.buf;
+  Buffer.clear w.buf
+
+(* [segments] are value lists of one key in arrival order *)
+let write_group w ~key ~k ~segments =
+  Codec.write_varint w.buf (String.length key);
+  Buffer.add_string w.buf key;
+  Codec.write_framed w.buf k;
+  let count = List.fold_left (fun a vs -> a + List.length vs) 0 segments in
+  Codec.write_varint w.buf count;
+  List.iter (List.iter (Codec.write_framed w.buf)) segments;
+  if Buffer.length w.buf >= 65536 then writer_flush w
+
+let writer_close w =
+  writer_flush w;
+  close_out_noerr w.oc;
+  w.bytes
+
+let write_table path m =
+  let keys = List.sort String.compare m.distinct in
+  let w = writer_open path in
+  Fun.protect ~finally:(fun () -> close_out_noerr w.oc) @@ fun () ->
+  List.iter
+    (fun key ->
+      let e = Hashtbl.find m.tbl key in
+      write_group w ~key ~k:e.ek ~segments:[ List.rev e.vals_rev ])
+    keys;
+  writer_close w
+
+(* ------------------------------------------------------------------ *)
+(* Run readers and the k-way merge                                     *)
+
+type group = { gkey : string; gk : Value.t; gvals : Value.t list }
+type reader = { mutable cur : group option; next : unit -> group option }
+
+let in_varint_cont ic first =
+  let acc = ref (first land 0x7f) and shift = ref 7 and b = ref first in
+  while !b land 0x80 <> 0 do
+    if !shift > 56 then err "varint too long in run file";
+    b := input_byte ic;
+    acc := !acc lor ((!b land 0x7f) lsl !shift);
+    shift := !shift + 7
+  done;
+  !acc
+
+let in_varint ic = in_varint_cont ic (input_byte ic)
+
+let in_framed ic =
+  let len = in_varint ic in
+  if len < 0 then err "negative frame length in run file";
+  let payload = really_input_string ic len in
+  try Codec.decode payload with Codec.Codec_error m -> err "corrupt run: %s" m
+
+(* EOF at a group boundary ends the run; anywhere else it is corruption *)
+let read_group ic =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | b0 -> (
+      try
+        let klen = in_varint_cont ic b0 in
+        if klen < 0 then err "negative key length in run file";
+        let key = really_input_string ic klen in
+        let k = in_framed ic in
+        let count = in_varint ic in
+        if count < 0 then err "negative value count in run file";
+        let vals = List.init count (fun _ -> in_framed ic) in
+        Some { gkey = key; gk = k; gvals = vals }
+      with End_of_file -> err "truncated run file")
+
+let file_reader ic = { cur = None; next = (fun () -> read_group ic) }
+
+let mem_reader m =
+  let rest = ref (List.sort String.compare m.distinct) in
+  {
+    cur = None;
+    next =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | key :: tl ->
+            rest := tl;
+            let e = Hashtbl.find m.tbl key in
+            Some { gkey = key; gk = e.ek; gvals = List.rev e.vals_rev });
+  }
+
+let advance r = r.cur <- r.next ()
+
+(* Readers must be in arrival order (run i's window precedes run
+   i+1's, memory last): the first reader holding the minimal key then
+   contains its earliest arrival, so taking that reader's key value
+   reproduces the in-memory first-arrival representative, and
+   concatenating segments in reader order reproduces arrival order. *)
+let merge readers ~emit_group =
+  List.iter advance readers;
+  let rec loop () =
+    let best =
+      List.fold_left
+        (fun acc r ->
+          match (r.cur, acc) with
+          | None, _ -> acc
+          | Some g, None -> Some g.gkey
+          | Some g, Some k -> if String.compare g.gkey k < 0 then Some g.gkey else acc)
+        None readers
+    in
+    match best with
+    | None -> ()
+    | Some key ->
+        let rep = ref None and segs = ref [] in
+        List.iter
+          (fun r ->
+            match r.cur with
+            | Some g when String.equal g.gkey key ->
+                (match !rep with None -> rep := Some g.gk | Some _ -> ());
+                segs := g.gvals :: !segs;
+                advance r
+            | _ -> ())
+          readers;
+        (match !rep with
+        | Some k -> emit_group key k (List.rev !segs)
+        | None -> assert false);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault recovery: rebuild a lost run from lineage. Re-deriving the
+   arrival window and regrouping writes a byte-identical file — groups
+   come out in the same sorted order with the same first-arrival
+   representatives and arrival-ordered values (compacted runs too,
+   since their windows are consecutive unions).                        *)
+
+let rematerialize t r =
+  let m = table_create () in
+  for i = r.lo to r.hi - 1 do
+    let key, k, v = t.lineage i in
+    table_add m key k v
+  done;
+  ignore (write_table r.path m : int)
+
+let open_run t r =
+  (match t.fault with
+  | Some draw when draw () ->
+      t.io_faults <- t.io_faults + 1;
+      Obs.add t.obs "spill_io_faults" 1;
+      (try Sys.remove r.path with Sys_error _ -> ());
+      rematerialize t r
+  | _ -> ());
+  let ic = try open_in_bin r.path with Sys_error m -> err "open %s: %s" r.path m in
+  match really_input_string ic Codec.header_size with
+  | exception End_of_file ->
+      close_in_noerr ic;
+      err "truncated run header in %s" r.path
+  | hdr -> (
+      match Codec.check_header hdr with
+      | () -> ic
+      | exception Codec.Codec_error m ->
+          close_in_noerr ic;
+          err "bad run header in %s: %s" r.path m)
+
+(* ------------------------------------------------------------------ *)
+(* Spilling                                                            *)
+
+(* Merge every existing run into one so [finish] (and fd usage) stays
+   bounded at tiny budgets; consecutive windows union to a window.     *)
+let compact t =
+  let ordered = List.rev t.runs in
+  let lo = (List.hd ordered).lo and hi = (List.hd t.runs).hi in
+  let ics = ref [] in
+  let merged =
+    Fun.protect ~finally:(fun () -> List.iter close_in_noerr !ics) @@ fun () ->
+    let readers =
+      List.map
+        (fun r ->
+          let ic = open_run t r in
+          ics := ic :: !ics;
+          file_reader ic)
+        ordered
+    in
+    let path = fresh_path t in
+    let w = writer_open path in
+    Fun.protect ~finally:(fun () -> close_out_noerr w.oc) @@ fun () ->
+    merge readers ~emit_group:(fun key k segs -> write_group w ~key ~k ~segments:segs);
+    let bytes = writer_close w in
+    t.bytes_spilled <- t.bytes_spilled + bytes;
+    Obs.add t.obs "spill_bytes" bytes;
+    { path; lo; hi }
+  in
+  List.iter (fun r -> try Sys.remove r.path with Sys_error _ -> ()) t.runs;
+  t.runs <- [ merged ];
+  t.nruns <- 1
+
+let spill t =
+  if t.mem.count > 0 then begin
+    if t.nruns >= !max_fanin then compact t;
+    let path = fresh_path t in
+    let bytes = write_table path t.mem in
+    t.runs <- { path; lo = t.window_lo; hi = t.added } :: t.runs;
+    t.nruns <- t.nruns + 1;
+    t.runs_written <- t.runs_written + 1;
+    t.bytes_spilled <- t.bytes_spilled + bytes;
+    Obs.add t.obs "spill_runs" 1;
+    Obs.add t.obs "spill_bytes" bytes;
+    t.mem <- table_create ();
+    t.live_bytes <- 0;
+    t.window_lo <- t.added
+  end
+
+let add t key k v =
+  if t.cleaned then err "add to a finished grouper";
+  table_add t.mem key k v;
+  t.added <- t.added + 1;
+  t.live_bytes <- t.live_bytes + Value.size_of k + Value.size_of v;
+  if t.live_bytes > t.budget then spill t
+
+(* ------------------------------------------------------------------ *)
+
+let finish t ~init ~step ~record ~emit =
+  if t.cleaned then err "finish on a finished grouper";
+  Fun.protect ~finally:(fun () -> cleanup t) @@ fun () ->
+  let fold_group key k segments =
+    ignore (key : string);
+    let cell = ref None in
+    List.iter
+      (List.iter (fun v ->
+           match !cell with
+           | None -> cell := Some (init v)
+           | Some c -> step c v))
+      segments;
+    match !cell with
+    | Some c -> emit (record k c)
+    | None -> assert false
+  in
+  if t.nruns = 0 then merge [ mem_reader t.mem ] ~emit_group:fold_group
+  else begin
+    t.merge_fanin <- t.nruns + (if t.mem.count > 0 then 1 else 0);
+    Obs.add t.obs "spill_merge_fanin" t.merge_fanin;
+    Obs.span t.obs "spill.merge"
+      ~args:
+        [ ("stage", t.label); ("fanin", string_of_int t.merge_fanin) ]
+    @@ fun () ->
+    let ics = ref [] in
+    Fun.protect ~finally:(fun () -> List.iter close_in_noerr !ics) @@ fun () ->
+    let file_readers =
+      List.map
+        (fun r ->
+          let ic = open_run t r in
+          ics := ic :: !ics;
+          file_reader ic)
+        (List.rev t.runs)
+    in
+    let readers =
+      if t.mem.count > 0 then file_readers @ [ mem_reader t.mem ]
+      else file_readers
+    in
+    merge readers ~emit_group:fold_group
+  end

@@ -1,0 +1,110 @@
+(** Memory-budgeted external grouping for the engine's keyed shuffles.
+
+    A grouper buffers key-value records in memory, charging each record
+    at the engine's byte model ({!Casper_common.Value.size_of} of key
+    and value). When the estimated live bytes exceed the budget, the
+    buffer is sorted by key string and appended to disk as one *run*
+    ({!Codec} binary format, versioned header, length-prefixed frames),
+    and the buffer is cleared. [finish] streams a k-way merge over the
+    runs plus the in-memory tail, emitting one folded record per key in
+    ascending key-string order — with the per-key left fold applied in
+    exact arrival order, so the result is byte-identical to the fully
+    in-memory grouping at any budget (DESIGN.md §12 has the argument).
+
+    Runs are consecutive arrival windows; when more than {!max_fanin}
+    accumulate, they are compacted into one (which preserves both the
+    arrival-order and the first-arrival-representative invariants,
+    because the windows are consecutive). Injected I/O faults (see
+    {!Sched.Faults.spill_fault_prob}) simulate a lost run file at merge
+    time: the file is deleted and re-materialized from lineage — the
+    [lineage] callback re-derives the records of the run's arrival
+    window — before the merge proceeds, so faults can never change
+    outputs.
+
+    Temp files live in a fresh subdirectory of {!base_dir} and are
+    removed on every exit path: [finish] sweeps in a [Fun.protect], and
+    {!cleanup} is idempotent for callers that wrap the whole stage. *)
+
+module Value = Casper_common.Value
+module Obs = Casper_obs.Obs
+
+exception Spill_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide configuration.                                         *)
+
+(** The default budget in bytes: [CASPER_MEM_BUDGET] when set to a
+    positive integer ([None] — unbounded — otherwise, with a one-time
+    warning on unparsable values), unless overridden by
+    {!with_default_budget}. *)
+val default_budget : unit -> int option
+
+(** [with_default_budget b f] runs [f] with the default budget forced
+    to [b], restoring the previous default afterwards (also on
+    exceptions). Not domain-safe: for tests and benches on the main
+    domain. *)
+val with_default_budget : int option -> (unit -> 'a) -> 'a
+
+(** Directory spill subdirectories are created under. Defaults to
+    [CASPER_SPILL_DIR] when set, else the system temp directory. *)
+val base_dir : unit -> string
+
+val set_base_dir : string -> unit
+
+(** Maximum runs merged at once; more get compacted into one first.
+    Mutable so tests can force compaction with small inputs; default
+    64. *)
+val max_fanin : int ref
+
+(* ------------------------------------------------------------------ *)
+(* Groupers.                                                           *)
+
+type t
+
+type stats = {
+  runs_written : int;  (** spill events (compaction rewrites excluded) *)
+  bytes_spilled : int;  (** file bytes written, compaction included *)
+  merge_fanin : int;  (** sources merged by [finish]; 0 if no run spilled *)
+  io_faults : int;  (** injected run losses recovered from lineage *)
+}
+
+(** [create ~lineage ~budget ~label ()] starts a grouper. [lineage i]
+    must return the [(key string, key, value)] of arrival [i] (0-based,
+    in [add] order) — it is only called to re-materialize a run after
+    an injected fault. [fault] is drawn once per run-file open; [true]
+    simulates the loss of that file. [obs] (default disabled) receives
+    [spill_runs] / [spill_bytes] / [spill_merge_fanin] /
+    [spill_io_faults] counters and a ["spill.merge"] span. [budget]
+    must be positive. *)
+val create :
+  ?obs:Obs.ctx ->
+  ?fault:(unit -> bool) ->
+  lineage:(int -> string * Value.t * Value.t) ->
+  budget:int ->
+  label:string ->
+  unit ->
+  t
+
+(** Feed the next record in arrival order. [key] must be the key's
+    {!Value.to_string} form. May spill. *)
+val add : t -> string -> Value.t -> Value.t -> unit
+
+(** Merge runs and the in-memory tail; for each key in ascending
+    key-string order, fold its values in arrival order — [init] on the
+    first, [step] on the rest — then call [emit (record key cell)].
+    Sweeps all temp files before returning, also on exceptions. The
+    grouper cannot be used afterwards. *)
+val finish :
+  t ->
+  init:(Value.t -> 'cell) ->
+  step:('cell -> Value.t -> unit) ->
+  record:(Value.t -> 'cell -> Value.t) ->
+  emit:(Value.t -> unit) ->
+  unit
+
+(** Remove every temp file and the grouper's directory. Idempotent;
+    called by [finish] itself, and again by callers guarding against
+    exceptions raised before or during [finish]. *)
+val cleanup : t -> unit
+
+val stats : t -> stats

@@ -35,6 +35,10 @@ type profile = {
   lost_partition_prob : float;
       (** per reduce attempt: chance one of its shuffle inputs was
           dropped in flight and must be recovered *)
+  spill_fault_prob : float;
+      (** per spill-run-file open: chance the engine's out-of-core
+          shuffle finds the run lost and must re-materialize it from
+          lineage (DESIGN.md §12) *)
 }
 
 let none =
@@ -44,6 +48,7 @@ let none =
     straggler_fraction = 0.0;
     straggler_slowdown = 1.0;
     lost_partition_prob = 0.0;
+    spill_fault_prob = 0.0;
   }
 
 (** A profile that only kills [fraction] of the workers. *)
@@ -52,3 +57,6 @@ let failures ?(seed = 1) fraction = { none with seed; failed_fraction = fraction
 (** A profile that only slows [fraction] of the workers by [slowdown]. *)
 let stragglers ?(seed = 1) ~fraction ~slowdown () =
   { none with seed; straggler_fraction = fraction; straggler_slowdown = slowdown }
+
+(** A profile that only loses spill run files with probability [prob]. *)
+let spill_faults ?(seed = 1) prob = { none with seed; spill_fault_prob = prob }

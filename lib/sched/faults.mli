@@ -20,6 +20,10 @@ type profile = {
   lost_partition_prob : float;
       (** per reduce attempt: chance one of its shuffle inputs was
           dropped in flight and must be recovered *)
+  spill_fault_prob : float;
+      (** per spill-run-file open: chance the engine's out-of-core
+          shuffle finds the run lost and must re-materialize it from
+          lineage *)
 }
 
 (** The fault-free profile (seed 0, nothing injected). *)
@@ -30,3 +34,8 @@ val failures : ?seed:int -> float -> profile
 
 (** A profile that only slows [fraction] of the workers by [slowdown]. *)
 val stragglers : ?seed:int -> fraction:float -> slowdown:float -> unit -> profile
+
+(** A profile that only loses spill run files with probability [prob];
+    the engine recovers each loss from lineage, leaving outputs
+    untouched. *)
+val spill_faults : ?seed:int -> float -> profile

@@ -4,7 +4,12 @@
 module Plan = Mapreduce.Plan
 module Engine = Mapreduce.Engine
 module Cluster = Mapreduce.Cluster
+module Spill = Mapreduce.Spill
 module Value = Casper_common.Value
+module Par = Casper_par.Par
+module Obs = Casper_obs.Obs
+module Coordinator = Sched.Coordinator
+module Faults = Sched.Faults
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -201,6 +206,211 @@ let test_global_reduce_partials_round_robin () =
     (n * Value.size_of (vint 0))
     m.Engine.bytes_shuffled
 
+(* ---------------- out-of-core shuffle ---------------- *)
+
+(* The spill path's contract: at ANY budget the outputs and the stage
+   metrics are byte-identical to the in-memory grouping — the runs on
+   disk hold raw values per key in arrival order, so the merge replays
+   exactly the same left folds. [~memory_budget:0] forces the in-memory
+   path regardless of CASPER_MEM_BUDGET, which keeps these tests
+   meaningful in the CI spill-everything run. *)
+
+let spill_pools = lazy (List.map (fun j -> (j, Par.create ~jobs:j)) [ 1; 2; 4 ])
+
+let run_spill ?sched ?obs ~jobs ~rpt ~memory_budget plan datasets =
+  let pool = List.assoc jobs (Lazy.force spill_pools) in
+  let saved_rpt = !Par.records_per_task
+  and saved_ic = !Par.inline_cutoff in
+  Fun.protect
+    ~finally:(fun () ->
+      Par.records_per_task := saved_rpt;
+      Par.inline_cutoff := saved_ic)
+    (fun () ->
+      Par.records_per_task := rpt;
+      Par.inline_cutoff := 0;
+      Engine.run_plan ?sched ?obs ~pool ~memory_budget ~cluster:Cluster.spark
+        ~datasets plan)
+
+(* non-commutative, non-associative combiner: merging partial folds
+   instead of replaying arrival order would show up immediately *)
+let nest a b = Value.Tuple [ a; b ]
+
+let spill_case_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_bound 60) (pair (int_bound 8) small_signed_int))
+      bool)
+
+let spill_case_arb =
+  QCheck.make
+    ~print:(fun (l, g) ->
+      Printf.sprintf "groupByKey=%b %s" g
+        (String.concat ";"
+           (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l)))
+    spill_case_gen
+
+(* jobs {1,2,4} x budget {unbounded, 4096, 1 byte} x rpt {1, 1024}: every
+   point must agree with the in-memory jobs=1 run on output AND metrics *)
+let prop_spill_matrix =
+  QCheck.Test.make ~name:"spilled runs are byte-identical everywhere"
+    ~count:30 spill_case_arb (fun (l, use_group) ->
+      let datasets =
+        [ ("d", List.map (fun (k, v) -> kv (vint k) (vint v)) l) ]
+      in
+      let p =
+        if use_group then Plan.(data "d" |>> group_by_key ())
+        else Plan.(data "d" |>> reduce_by_key nest)
+      in
+      let base = run_spill ~jobs:1 ~rpt:1024 ~memory_budget:0 p datasets in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun memory_budget ->
+              List.for_all
+                (fun rpt ->
+                  let r = run_spill ~jobs ~rpt ~memory_budget p datasets in
+                  r.Engine.output = base.Engine.output
+                  && r.Engine.stages = base.Engine.stages)
+                [ 1; 1024 ])
+            [ 0; 4096; 1 ])
+        [ 1; 2; 4 ])
+
+let wc_plan =
+  Plan.(
+    data "w" |>> map_to_pair (fun w -> (w, vint 1)) |>> reduce_by_key add_i)
+
+let wc_words n =
+  let rng = Casper_common.Rng.create 9 in
+  Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:60 ~skew:1.0)
+
+let test_spill_identity_and_counters () =
+  let datasets = [ ("w", wc_words 800) ] in
+  let base = run_spill ~jobs:1 ~rpt:1024 ~memory_budget:0 wc_plan datasets in
+  let obs = Obs.create () in
+  let r = run_spill ~obs ~jobs:1 ~rpt:1024 ~memory_budget:256 wc_plan datasets in
+  check "spilled output identical" true (r.Engine.output = base.Engine.output);
+  check "spilled metrics identical" true (r.Engine.stages = base.Engine.stages);
+  check "runs were written" true (Obs.total obs "spill_runs" > 0);
+  check "bytes were spilled" true (Obs.total obs "spill_bytes" > 0);
+  check "merge fan-in recorded" true (Obs.total obs "spill_merge_fanin" > 1)
+
+let test_spill_explicit_zero_wins () =
+  let datasets = [ ("w", wc_words 300) ] in
+  Spill.with_default_budget (Some 64) @@ fun () ->
+  let obs = Obs.create () in
+  let r =
+    Engine.run_plan ~obs ~memory_budget:0 ~cluster:Cluster.spark ~datasets
+      wc_plan
+  in
+  check "explicit 0 forces the in-memory path" true
+    (Obs.total obs "spill_runs" = 0);
+  let obs2 = Obs.create () in
+  let r2 =
+    Engine.run_plan ~obs:obs2 ~cluster:Cluster.spark ~datasets wc_plan
+  in
+  check "absent budget picks up the default" true
+    (Obs.total obs2 "spill_runs" > 0);
+  check "same output either way" true (r.Engine.output = r2.Engine.output)
+
+let test_spill_compaction () =
+  let saved = !Spill.max_fanin in
+  Fun.protect ~finally:(fun () -> Spill.max_fanin := saved) @@ fun () ->
+  Spill.max_fanin := 3;
+  let datasets = [ ("w", wc_words 400) ] in
+  let base = run_spill ~jobs:1 ~rpt:1024 ~memory_budget:0 wc_plan datasets in
+  let obs = Obs.create () in
+  let r = run_spill ~obs ~jobs:1 ~rpt:1024 ~memory_budget:1 wc_plan datasets in
+  check "far more runs than the fan-in cap" true
+    (Obs.total obs "spill_runs" > 3);
+  check "merge stayed under the cap" true
+    (Obs.total obs "spill_merge_fanin" <= 4);
+  check "compacted output identical" true (r.Engine.output = base.Engine.output);
+  check "compacted metrics identical" true (r.Engine.stages = base.Engine.stages)
+
+let test_spill_fault_recovery () =
+  let datasets = [ ("w", wc_words 500) ] in
+  let base = run_spill ~jobs:1 ~rpt:1024 ~memory_budget:0 wc_plan datasets in
+  let sched = Coordinator.config ~faults:(Faults.spill_faults ~seed:7 1.0) () in
+  let obs = Obs.create () in
+  let r =
+    run_spill ~sched ~obs ~jobs:1 ~rpt:1024 ~memory_budget:128 wc_plan datasets
+  in
+  check "every run-open faulted" true (Obs.total obs "spill_io_faults" > 0);
+  check "lineage recovery keeps the output" true
+    (r.Engine.output = base.Engine.output);
+  check "and the metrics" true (r.Engine.stages = base.Engine.stages);
+  (* determinism: the same seeded profile replays the same loss count *)
+  let obs2 = Obs.create () in
+  let r2 =
+    run_spill ~sched ~obs:obs2 ~jobs:1 ~rpt:1024 ~memory_budget:128 wc_plan
+      datasets
+  in
+  check "same seed, same fault timeline" true
+    (Obs.total obs "spill_io_faults" = Obs.total obs2 "spill_io_faults");
+  check "same result" true (r2.Engine.output = base.Engine.output)
+
+(* the fix the issue calls out: a reduce function that throws mid-merge
+   must not leak run files — the Fun.protect sweep runs on every exit
+   path, including the error one *)
+let test_spill_cleanup_on_failure () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "casper-spill-test-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o700;
+  let saved = Spill.base_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.set_base_dir saved;
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  Spill.set_base_dir dir;
+  let boom _ _ = failwith "reduce exploded" in
+  let p =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 3), x))
+      |>> reduce_by_key boom)
+  in
+  let datasets = [ ("d", ints (List.init 200 (fun i -> i))) ] in
+  (match
+     Engine.run_plan ~memory_budget:1 ~cluster:Cluster.spark ~datasets p
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the reduce to raise");
+  check_int "no temp files survive the failing reduce" 0
+    (Array.length (Sys.readdir dir))
+
+let test_spill_join_passthrough () =
+  let left = Plan.(data "a" |>> map_to_pair (fun x -> (x, x))) in
+  let right =
+    Plan.(
+      data "b"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 5), x))
+      |>> reduce_by_key add_i)
+  in
+  let p = Plan.(left |>> join_with right) in
+  let datasets =
+    [ ("a", ints [ 0; 1; 2; 3; 4 ]); ("b", ints (List.init 100 (fun i -> i))) ]
+  in
+  let base =
+    Engine.run_plan ~memory_budget:0 ~cluster:Cluster.spark ~datasets p
+  in
+  let obs = Obs.create () in
+  let r =
+    Engine.run_plan ~obs ~memory_budget:16 ~cluster:Cluster.spark ~datasets p
+  in
+  check "the nested right-side shuffle spilled" true
+    (Obs.total obs "spill_runs" > 0);
+  check "join output identical" true (r.Engine.output = base.Engine.output);
+  check "join metrics identical" true (r.Engine.stages = base.Engine.stages)
+
 (* ---------------- time model ---------------- *)
 
 let wc_run n =
@@ -277,6 +487,22 @@ let suite =
           test_keyed_partitioning_deterministic;
         Alcotest.test_case "global reduce stays round-robin" `Quick
           test_global_reduce_partials_round_robin;
+      ] );
+    ( "engine.spill",
+      [
+        Alcotest.test_case "identity + obs counters" `Quick
+          test_spill_identity_and_counters;
+        Alcotest.test_case "explicit zero beats the default" `Quick
+          test_spill_explicit_zero_wins;
+        Alcotest.test_case "compaction under tiny budgets" `Quick
+          test_spill_compaction;
+        Alcotest.test_case "fault recovery from lineage" `Quick
+          test_spill_fault_recovery;
+        Alcotest.test_case "cleanup on failing reduce" `Quick
+          test_spill_cleanup_on_failure;
+        Alcotest.test_case "join passthrough" `Quick
+          test_spill_join_passthrough;
+        QCheck_alcotest.to_alcotest prop_spill_matrix;
       ] );
     ( "engine.time",
       [

@@ -99,10 +99,14 @@ let test_exception_safety () =
    search; the *shape* — span names, nesting, counter keys — must not.
    Execution is pinned to a single-domain pool: golden shapes are
    defined at jobs=1, where the trace carries no per-domain tracks
-   (which tracks appear at jobs>1 is scheduling-dependent). *)
+   (which tracks appear at jobs>1 is scheduling-dependent). The spill
+   budget is pinned to unbounded for the same reason: under
+   CASPER_MEM_BUDGET the grouped stages grow spill counters and a
+   merge span, and the goldens are defined at the in-memory path. *)
 let seq_pool = Casper_par.Par.create ~jobs:1
 
 let traced_pipeline ?(execute = false) bench_name =
+  Mapreduce.Spill.with_default_budget None @@ fun () ->
   let b = Casper_suites.Registry.find_benchmark bench_name in
   let obs = Obs.create ~clock:(Obs.virtual_clock ~seed:11 ()) () in
   let report =
@@ -207,7 +211,7 @@ let q6_shape =
 
 (* ---------------- determinism: same seed, same bytes -------------- *)
 
-let faulty = { Faults.seed = 3; failed_fraction = 0.2;
+let faulty = { Faults.none with seed = 3; failed_fraction = 0.2;
                straggler_fraction = 0.1; straggler_slowdown = 6.0;
                lost_partition_prob = 0.05 }
 

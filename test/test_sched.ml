@@ -163,7 +163,8 @@ let test_fault_free_fidelity () =
 
 let faulty_profile seed =
   {
-    Faults.seed;
+    Faults.none with
+    seed;
     failed_fraction = 0.2;
     straggler_fraction = 0.1;
     straggler_slowdown = 6.0;
@@ -301,7 +302,8 @@ let gen_profile : Faults.profile QCheck.Gen.t =
   let* lost = oneofl [ 0.0; 0.05 ] in
   return
     {
-      Faults.seed;
+      Faults.none with
+      seed;
       failed_fraction = failed;
       straggler_fraction = straggle;
       straggler_slowdown = 5.0;
