@@ -1704,6 +1704,148 @@ let spill_perf () =
   Fmt.pr "wrote BENCH_spill.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Lineage cache: iterative fragments, cold vs cache-served             *)
+
+(** The Fig 7c driver loops run the same compiled plan over the same
+    datasets every iteration — exactly the shape the lineage cache
+    memoizes. Each of the 7 Iterative fragments is compiled once and
+    its datasets materialized once (so lineage identity is preserved
+    across iterations), then driven [iters] times cold and [iters]
+    times against a fresh cache (1 miss + [iters-1] hits). Every
+    cache-served iteration is asserted byte-identical to the cold run
+    on outputs AND stage accounting — a failure here is a correctness
+    bug, not a perf regression. Results land in [BENCH_cache.json]. *)
+let cache_perf () =
+  section "Lineage cache: iterative fragments, cold vs cache-served";
+  (* pin both process defaults: "cold" must really recompute, and
+     pressure shedding must not evict the entry between iterations *)
+  Engine.with_default_cache None @@ fun () ->
+  Mapreduce.Spill.with_default_budget None @@ fun () ->
+  let cluster = Cluster.spark in
+  let iters = 10 in
+  let reps = 3 in
+  let cases =
+    [
+      ("PageRank", "contribs#0");
+      ("PageRank", "newRanks#0");
+      ("PageRank", "totalRank#0");
+      ("LogisticRegression", "gradientStep#0");
+      ("LogisticRegression", "squaredLoss#0");
+      ("LogisticRegression", "countCorrect#0");
+      ("LogisticRegression", "predictions#0");
+    ]
+  in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Obs.wall_clock () in
+      f ();
+      let dt = Obs.wall_clock () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let rows = ref [] and json_frags = ref [] and fast = ref 0 in
+  List.iter
+    (fun (bench, frag_id) ->
+      let b = Casper_suites.Registry.find_benchmark bench in
+      let t = find_translation b frag_id in
+      match t.Casper.survivors with
+      | [] -> Fmt.pr "  !! %s %s: no survivor, skipped@." bench frag_id
+      | best :: _ ->
+          let report = translate b in
+          let prog = report.Casper.program in
+          let env = workload b () in
+          let entry = Vc.entry_of_params prog t.Casper.frag env in
+          let translated =
+            Casper_codegen.Compile.compile prog t.Casper.frag entry
+              best.Cegis.summary
+          in
+          let datasets = Runner.datasets_of prog t.Casper.frag entry in
+          let plan = translated.Casper_codegen.Compile.plan in
+          let run ?cache () =
+            Engine.run_plan ?cache ~cluster ~datasets plan
+          in
+          let cold0 = run () in
+          let records =
+            List.fold_left (fun a (_, l) -> a + List.length l) 0 datasets
+          in
+          let iterate ?cache () =
+            for _ = 1 to iters do
+              let r = run ?cache () in
+              if r.Engine.output <> cold0.Engine.output then
+                failwith
+                  (Fmt.str "cache_perf: %s output differs from cold run"
+                     frag_id);
+              if r.Engine.stages <> cold0.Engine.stages then
+                failwith
+                  (Fmt.str "cache_perf: %s stage accounting differs" frag_id)
+            done
+          in
+          let cold_wall = time_min (fun () -> iterate ()) in
+          let last_stats = ref None in
+          let cached_wall =
+            time_min (fun () ->
+                let cache = Engine.make_cache () in
+                iterate ~cache ();
+                last_stats := Some (Engine.cache_stats cache))
+          in
+          let stats = Option.get !last_stats in
+          if stats.Mapreduce.Cache.hits <> iters - 1 then
+            failwith
+              (Fmt.str "cache_perf: %s expected %d hits, saw %d" frag_id
+                 (iters - 1) stats.Mapreduce.Cache.hits);
+          let speedup =
+            if cached_wall > 0.0 then cold_wall /. cached_wall else 1.0
+          in
+          if speedup >= 1.5 then incr fast;
+          rows :=
+            [
+              bench ^ " " ^ frag_id;
+              string_of_int records;
+              Fmt.str "%.2f" (cold_wall *. 1e3);
+              Fmt.str "%.2f" (cached_wall *. 1e3);
+              T.fx speedup;
+              string_of_int stats.Mapreduce.Cache.hits;
+            ]
+            :: !rows;
+          json_frags :=
+            J.Obj
+              [
+                ("benchmark", J.Str bench);
+                ("fragment", J.Str frag_id);
+                ("records", J.Int records);
+                ("cold_s", J.Float cold_wall);
+                ("cached_s", J.Float cached_wall);
+                ("speedup", J.Float speedup);
+                ("hits", J.Int stats.Mapreduce.Cache.hits);
+                ("misses", J.Int stats.Mapreduce.Cache.misses);
+              ]
+            :: !json_frags)
+    cases;
+  T.print
+    ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([
+       "Fragment"; "records"; "cold ms"; "cached ms"; "speedup"; "hits";
+     ]
+    :: List.rev !rows);
+  Fmt.pr
+    "@.cache-served >=1.5x on %d of %d fragments; outputs and stage \
+     accounting byte-identical everywhere@."
+    !fast (List.length cases);
+  J.write_file "BENCH_cache.json"
+    (J.Obj
+       [
+         ("schema", J.Str "casper-bench-cache/v1");
+         ("iters", J.Int iters);
+         ("reps", J.Int reps);
+         ("identical_outputs", J.Bool true);
+         ("speedup_ge_1_5", J.Int !fast);
+         ("fragments", J.List (List.rev !json_frags));
+       ]);
+  Fmt.pr "wrote BENCH_cache.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 
 let micro () =
@@ -1778,6 +1920,7 @@ let sections_list =
     ("par_scaling", par_scaling);
     ("engine_perf", engine_perf);
     ("spill_perf", spill_perf);
+    ("cache_perf", cache_perf);
     ("micro", micro);
   ]
 
@@ -1807,6 +1950,17 @@ let () =
          match int_of_string_opt v with
          | Some n when n >= 1 -> Par.set_jobs n
          | _ -> Fmt.epr "ignoring bad --jobs %S@." v)
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find argv);
+  (* installs a process-default lineage cache for every section;
+     sections that compare cached vs cold pin their own default *)
+  (let rec find = function
+     | "--cache-budget" :: v :: _ -> (
+         match int_of_string_opt v with
+         | Some n -> Engine.set_default_cache_budget (Some n)
+         | None -> Fmt.epr "ignoring bad --cache-budget %S@." v)
      | _ :: rest -> find rest
      | [] -> ()
    in

@@ -45,7 +45,7 @@ let pp_analysis ppf (frag : F.t) =
    summary on the simulated cluster over a generated entry state, so the
    exported trace covers the full analyze → synthesize → verify →
    execute pipeline, scheduler task spans included. *)
-let execute_traced (obs : Obs.ctx) (report : Casper.report) : unit =
+let execute_traced ?cache (obs : Obs.ctx) (report : Casper.report) : unit =
   let cluster = Mapreduce.Cluster.spark in
   let prog = report.Casper.program in
   List.iter
@@ -66,8 +66,8 @@ let execute_traced (obs : Obs.ctx) (report : Casper.report) : unit =
             Obs.span obs ~args:[ ("fragment", frag.F.frag_id) ] "execute"
             @@ fun () ->
             let res =
-              Casper_codegen.Runner.run_summary ~obs ~cluster ~scale:1.0
-                prog frag entry best.Cegis.summary
+              Casper_codegen.Runner.run_summary ~obs ?cache ~cluster
+                ~scale:1.0 prog frag entry best.Cegis.summary
             in
             ignore
               (Mapreduce.Engine.schedule ~obs ~cluster ~scale:1.0
@@ -76,8 +76,19 @@ let execute_traced (obs : Obs.ctx) (report : Casper.report) : unit =
     report.Casper.translations
 
 let compile_file path target verbose summaries_only analysis_only budget trace
-    jobs =
+    jobs cache_budget =
   Option.iter Casper_par.Par.set_jobs jobs;
+  (* --cache-budget: install the process default (inert for traced runs
+     by the obs-bypass rule) AND build an explicit cache so the traced
+     execute stage is actually served *)
+  Option.iter
+    (fun n -> Mapreduce.Engine.set_default_cache_budget (Some n))
+    cache_budget;
+  let exec_cache =
+    match cache_budget with
+    | Some n when n > 0 -> Some (Mapreduce.Engine.make_cache ~budget:n ())
+    | _ -> None
+  in
   let src =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -164,7 +175,7 @@ let compile_file path target verbose summaries_only analysis_only budget trace
       (match trace with
       | None -> ()
       | Some file ->
-          execute_traced obs report;
+          execute_traced ?cache:exec_cache obs report;
           Obs.write_trace file obs;
           Fmt.pr "trace written to %s (metrics: %s)@." file
             (Filename.remove_extension file ^ ".metrics.json"));
@@ -223,12 +234,23 @@ let jobs_arg =
               execution (default: \\$CASPER_JOBS, else 1). Results are \
               byte-identical at any value.")
 
+let cache_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-budget" ] ~docv:"N"
+        ~doc:"Byte budget of the lineage-aware dataset cache used during \
+              simulated execution (default: \\$CASPER_CACHE_BUDGET, else \
+              off; 0 disables). Served results are byte-identical to \
+              recomputation at any budget.")
+
 let cmd =
   let doc = "translate sequential Java loop nests into MapReduce programs" in
   Cmd.v
     (Cmd.info "casperc" ~version:"1.0.0" ~doc)
     Term.(
       const compile_file $ path_arg $ target_arg $ verbose_arg
-      $ summaries_arg $ analysis_arg $ budget_arg $ trace_arg $ jobs_arg)
+      $ summaries_arg $ analysis_arg $ budget_arg $ trace_arg $ jobs_arg
+      $ cache_budget_arg)
 
 let () = exit (Cmd.eval' cmd)

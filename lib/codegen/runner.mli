@@ -21,11 +21,16 @@ val datasets_of :
   Minijava.Interp.env ->
   (string * Value.t list) list
 
-(** Execute one verified summary for a fragment. [obs] and [pool] are
-    forwarded to {!Mapreduce.Engine.run_plan}. *)
+(** Execute one verified summary for a fragment. [obs], [pool] and
+    [cache] are forwarded to {!Mapreduce.Engine.run_plan}. Note that a
+    plan is recompiled (fresh closures) on every call, so lineage-cache
+    reuse across calls requires compiling once and driving
+    [Engine.run_plan] directly; an explicit [cache] here still serves
+    repeats within a single plan (join sides). *)
 val run_summary :
   ?obs:Casper_obs.Obs.ctx ->
   ?pool:Casper_par.Par.pool ->
+  ?cache:Mapreduce.Engine.cache ->
   cluster:Mapreduce.Cluster.t ->
   scale:float ->
   Minijava.Ast.program ->

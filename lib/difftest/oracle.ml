@@ -58,6 +58,14 @@ type config = {
           and again with injected spill-file losses; outputs and stage
           accounting must be byte-identical to the in-memory path
           (the out-of-core shuffle contract, DESIGN.md §12) *)
+  check_cache : bool;
+      (** re-run the translated program against explicit dataset
+          caches: a tiny budget (constant eviction churn), an unbounded
+          cache run twice (the second run is served from cache), and a
+          fault profile that loses cached partitions on half the hits
+          mid-run; outputs and stage accounting must be byte-identical
+          to the uncached run (the lineage-cache contract, DESIGN.md
+          §13) *)
 }
 
 let default_config ?(seed = 0) () =
@@ -75,6 +83,7 @@ let default_config ?(seed = 0) () =
     check_fastpath = true;
     check_parallel = Some 4;
     check_spill = true;
+    check_cache = true;
   }
 
 type divergence = {
@@ -412,6 +421,51 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
                             fail tag
                               "spill-file faults changed outputs or \
                                accounting")
+                        cfg.backends;
+                    (* dataset cache: a tiny budget forces eviction
+                       churn on every insert; an unbounded cache run
+                       twice serves the second run from cache; a fault
+                       profile loses cached partitions on half the hits
+                       mid-run and must fall back to lineage
+                       recomputation — in all cases outputs and stage
+                       accounting must be byte-identical to the
+                       uncached run. First state only: the engine path
+                       is state-independent. *)
+                    if cfg.check_cache && ei = 0 then
+                      List.iter
+                        (fun (cluster : Cluster.t) ->
+                          let tag = "cache:" ^ cluster.Cluster.name in
+                          let base =
+                            Engine.with_default_cache None (fun () ->
+                                Engine.run_plan ~cluster ~datasets
+                                  t.Compile.plan)
+                          in
+                          let check what (r : Engine.run) =
+                            if r.Engine.output <> base.Engine.output then
+                              fail tag "%s changed outputs" what;
+                            if r.Engine.stages <> base.Engine.stages then
+                              fail tag "%s changed stage accounting" what
+                          in
+                          let run ?sched cache () =
+                            Engine.run_plan ?sched ~cache ~cluster ~datasets
+                              t.Compile.plan
+                          in
+                          let tiny = Engine.make_cache ~budget:64 () in
+                          check "a 64 B cache (cold)" (run tiny ());
+                          check "a 64 B cache (warm)" (run tiny ());
+                          let unbounded = Engine.make_cache () in
+                          check "an unbounded cache (cold)"
+                            (run unbounded ());
+                          check "an unbounded cache (hot)" (run unbounded ());
+                          let sched =
+                            Sched.Coordinator.config
+                              ~faults:
+                                (Sched.Faults.cache_faults
+                                   ~seed:(cfg.input_seed + 6) 0.5)
+                              ()
+                          in
+                          check "cached-partition faults"
+                            (run ~sched unbounded ()))
                         cfg.backends;
                     List.iter
                       (fun profile ->

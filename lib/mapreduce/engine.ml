@@ -53,43 +53,91 @@ let as_kv = function
 (* placeholder for pre-sized buffers; never observable in results *)
 let vdummy = Value.Int 0
 
+(* ------------------------------------------------------------------ *)
+(* Dataset cache plumbing                                               *)
+
+(** A materialized plan result held by the dataset cache: the output
+    partition plus everything a served run must report as if it had
+    recomputed (DESIGN.md §13). *)
+type cached_run = {
+  c_batch : Batch.t;
+  c_stages : stage_metrics list;
+  c_input_records : int;
+  c_input_bytes : int;
+}
+
+type cache = cached_run Cache.t
+
+let make_cache ?budget () : cache = Cache.create ?budget ()
+let cache_stats (c : cache) = Cache.stats c
+
+(* process default: CASPER_CACHE_BUDGET bytes (0, negative or unset =
+   no cache), overridable by the CLIs and scoped by tests *)
+let env_cache =
+  lazy
+    (match Sys.getenv_opt "CASPER_CACHE_BUDGET" with
+    | None -> None
+    | Some raw -> (
+        match int_of_string_opt (String.trim raw) with
+        | Some b when b > 0 -> Some (make_cache ~budget:b ())
+        | Some _ -> None (* 0 or negative: explicitly disabled *)
+        | None ->
+            ignore
+              (Obs.warn_once ~key:"cache-budget"
+                 (Printf.sprintf
+                    "CASPER_CACHE_BUDGET=%S is not an integer; cache disabled"
+                    raw)
+                : bool);
+            None))
+
+(* [None] = fall through to the environment *)
+let default_cache_override : cache option option ref = ref None
+
+let default_cache () =
+  match !default_cache_override with
+  | Some forced -> forced
+  | None -> Lazy.force env_cache
+
+let set_default_cache_budget = function
+  | None -> default_cache_override := None
+  | Some b when b > 0 ->
+      default_cache_override := Some (Some (make_cache ~budget:b ()))
+  | Some _ -> default_cache_override := Some None
+
+let with_default_cache c f =
+  let saved = !default_cache_override in
+  default_cache_override := Some c;
+  Fun.protect ~finally:(fun () -> default_cache_override := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                       *)
+
+(** Everything a plan execution threads through to nested (join-side)
+    executions, resolved once at the {!run_plan} boundary. Bundling the
+    recursive arguments into one value is what keeps the join branch
+    honest: a new knob lands in this record once and cannot be silently
+    dropped on one recursion path (the old code re-threaded each
+    optional argument by hand and forgot none — by luck, not by
+    construction). *)
+type exec_ctx = {
+  x_sched : Sched.Coordinator.config option;
+  x_obs : Obs.ctx;
+  x_pool : Par.pool;
+  x_budget : int option;  (** resolved spill budget *)
+  x_spill_fault : (unit -> bool) option;
+  x_cache : cache option;  (** resolved cache, [None] = off *)
+  x_cache_fault : (unit -> bool) option;
+}
+
 (** Execute one plan over named datasets.
 
     Raises {!Engine_error} when [datasets] binds the same name twice
     (the plan's reads would silently resolve to whichever binding comes
     first) and when a shuffle stage runs on a cluster with no worker
     slots to partition across. *)
-let rec run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget
-    ~(cluster : Cluster.t) ~(datasets : (string * Value.t list) list)
-    (plan : Plan.t) : run =
-  let pool = match pool with Some p -> p | None -> Par.global () in
-  (* spill budget: an explicit argument wins ([<= 0] means unbounded,
-     so callers can force the in-memory path whatever the environment
-     says); otherwise the process default (CASPER_MEM_BUDGET) *)
-  let budget =
-    match memory_budget with
-    | Some b when b > 0 -> Some b
-    | Some _ -> None
-    | None -> Spill.default_budget ()
-  in
-  (* spill-file I/O faults come from the scheduler's fault profile; the
-     draws are seeded per run_plan and happen sequentially on the
-     submitting domain, so a (profile, plan, budget) triple always
-     replays the same loss timeline at any pool size *)
-  let spill_fault =
-    match sched with
-    | None -> None
-    | Some config ->
-        let fp = config.Sched.Coordinator.faults in
-        let p = fp.Sched.Faults.spill_fault_prob in
-        if p > 0.0 then begin
-          let rng =
-            lazy (Casper_common.Rng.create (fp.Sched.Faults.seed + 0x51f4))
-          in
-          Some (fun () -> Casper_common.Rng.bernoulli (Lazy.force rng) p)
-        end
-        else None
-  in
+let rec exec_plan (ctx : exec_ctx) ~(cluster : Cluster.t)
+    ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
+  let obs = ctx.x_obs and pool = ctx.x_pool in
   Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
   @@ fun () ->
   (* duplicate-name guard: one Hashtbl pass (the old List.mem_assoc scan
@@ -100,6 +148,63 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget
       if Hashtbl.mem seen name then err "duplicate dataset name %s" name
       else Hashtbl.add seen name ())
     datasets;
+  (* The cache is consulted only on the owner domain — population from
+     one domain keeps jobs=1 behavior untouched and the fault draws
+     strictly sequential — and only for side-effect-free plans. The key
+     binds the resolved spill budget (ctx.x_budget, before any pressure
+     adjustment below), so budgeted and in-memory executions of the
+     same plan never share an entry. *)
+  let cache_slot =
+    match ctx.x_cache with
+    | Some c when (not (Par.on_worker ())) && Plan.cacheable plan ->
+        Some (c, Cache.key ~cluster ~budget:ctx.x_budget ~datasets plan)
+    | _ -> None
+  in
+  let served =
+    match cache_slot with
+    | None -> None
+    | Some (c, key) -> (
+        match Cache.find c key with
+        | None -> None
+        | Some e -> (
+            (* a scheduler fault profile may declare the cached
+               partition lost: invalidate and fall back to lineage
+               recomputation, which repopulates below *)
+            match ctx.x_cache_fault with
+            | Some lost when lost () ->
+                ignore (Cache.invalidate c key : bool);
+                Obs.span obs "engine.cache" (fun () ->
+                    Obs.add obs "cache_invalidations" 1);
+                None
+            | _ ->
+                Obs.span obs "engine.cache" (fun () ->
+                    Obs.add obs "cache_hits" 1);
+                Some e))
+  in
+  match served with
+  | Some e ->
+      {
+        output = Batch.to_list e.c_batch;
+        stages = e.c_stages;
+        input_records = e.c_input_records;
+        input_bytes = e.c_input_bytes;
+        sched = ctx.x_sched;
+      }
+  | None ->
+  (* eviction before spill: cached partitions count toward the same
+     live-byte ledger as the spill budget, and dropping a re-derivable
+     cache entry is always cheaper than spilling live shuffle state —
+     shed cache down to half the budget, then let the grouped stages
+     spill within what remains (outputs are budget-invariant, DESIGN.md
+     §12, so this only moves work, never results) *)
+  let budget, pressure_evictions =
+    match (cache_slot, ctx.x_budget) with
+    | Some (c, _), Some b ->
+        let ev = Cache.shrink_to c (b / 2) in
+        (Some (max 1 (b - Cache.bytes c)), ev)
+    | _ -> (ctx.x_budget, 0)
+  in
+  let sched = ctx.x_sched and spill_fault = ctx.x_spill_fault in
   (* a shuffle with no partitions to land records in cannot execute *)
   let check_workers () =
     if cluster.Cluster.workers <= 0 then
@@ -405,9 +510,10 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget
         end
     | Plan.Join_with { right; _ } ->
         check_workers ();
-        let right_run =
-          run_plan ?sched ?memory_budget ~obs ~pool ~cluster ~datasets right
-        in
+        (* the whole context rides along — including the cache, so a
+           join side repeated across (or within) plans is served from
+           its previous materialization *)
+        let right_run = exec_plan ctx ~cluster ~datasets right in
         nested_metrics := !nested_metrics @ right_run.stages;
         let tbl = Hashtbl.create 256 in
         List.iter
@@ -447,13 +553,86 @@ let rec run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget
         (out, m :: ms))
       (input_batch, []) plan.Plan.stages
   in
-  {
-    output = Batch.to_list output_batch;
-    stages = !nested_metrics @ List.rev rev_stages;
-    input_records = Batch.length input_batch;
-    input_bytes;
-    sched;
-  }
+  let stages = !nested_metrics @ List.rev rev_stages in
+  let input_records = Batch.length input_batch in
+  (* populate the cache with the materialized result and the metrics a
+     future hit must report as if recomputed; insertion may evict in
+     LRU order (including this very entry when it alone overflows the
+     budget) *)
+  (match cache_slot with
+  | None -> ()
+  | Some (c, key) ->
+      let bytes = Batch.bytes output_batch in
+      let evictions =
+        pressure_evictions
+        + Cache.put c key ~bytes
+            {
+              c_batch = output_batch;
+              c_stages = stages;
+              c_input_records = input_records;
+              c_input_bytes = input_bytes;
+            }
+      in
+      Obs.span obs "engine.cache" (fun () ->
+          Obs.add obs "cache_misses" 1;
+          Obs.add obs "cache_bytes" bytes;
+          if evictions > 0 then Obs.add obs "cache_evictions" evictions));
+  { output = Batch.to_list output_batch; stages; input_records;
+    input_bytes; sched }
+
+let run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget ?cache
+    ~(cluster : Cluster.t) ~(datasets : (string * Value.t list) list)
+    (plan : Plan.t) : run =
+  let pool = match pool with Some p -> p | None -> Par.global () in
+  (* spill budget: an explicit argument wins ([<= 0] means unbounded,
+     so callers can force the in-memory path whatever the environment
+     says); otherwise the process default (CASPER_MEM_BUDGET) *)
+  let budget =
+    match memory_budget with
+    | Some b when b > 0 -> Some b
+    | Some _ -> None
+    | None -> Spill.default_budget ()
+  in
+  (* spill-file I/O faults come from the scheduler's fault profile; the
+     draws are seeded per top-level run_plan and happen sequentially on
+     the submitting domain, so a (profile, plan, budget) triple always
+     replays the same loss timeline at any pool size *)
+  let fault_draw salt p =
+    match sched with
+    | None -> None
+    | Some config ->
+        let fp = config.Sched.Coordinator.faults in
+        let prob = p fp in
+        if prob > 0.0 then begin
+          let rng =
+            lazy (Casper_common.Rng.create (fp.Sched.Faults.seed + salt))
+          in
+          Some (fun () -> Casper_common.Rng.bernoulli (Lazy.force rng) prob)
+        end
+        else None
+  in
+  (* cache: an explicit argument always wins; the process default
+     (CASPER_CACHE_BUDGET) is a transparent accelerator only — it is
+     bypassed entirely for instrumented runs, so enabled-[obs] traces
+     and counters always describe a real execution and the golden
+     traces are byte-identical whatever the environment says *)
+  let cache =
+    match cache with
+    | Some c -> Some c
+    | None -> if Obs.enabled obs then None else default_cache ()
+  in
+  exec_plan
+    {
+      x_sched = sched;
+      x_obs = obs;
+      x_pool = pool;
+      x_budget = budget;
+      x_spill_fault = fault_draw 0x51f4 (fun fp -> fp.Sched.Faults.spill_fault_prob);
+      x_cache = cache;
+      x_cache_fault =
+        fault_draw 0x2ac8 (fun fp -> fp.Sched.Faults.cache_fault_prob);
+    }
+    ~cluster ~datasets plan
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock model                                                     *)

@@ -37,6 +37,35 @@ type run = {
           closed-form estimate *)
 }
 
+(** A materialized plan result held by the dataset cache: output
+    partition plus the metrics a served run reports as if recomputed. *)
+type cached_run
+
+(** A lineage-keyed dataset cache for engine runs ({!Cache}, DESIGN.md
+    §13). Because the type is transparent, the whole {!Cache} API —
+    [stats], [pin], [invalidate], [shrink_to], … — applies to it. *)
+type cache = cached_run Cache.t
+
+(** [make_cache ?budget ()] — a fresh cache; [budget] ≤ 0 or absent
+    means unbounded. *)
+val make_cache : ?budget:int -> unit -> cache
+
+val cache_stats : cache -> Cache.stats
+
+(** The process-default cache consulted when {!run_plan} gets no
+    explicit [?cache]: built from [CASPER_CACHE_BUDGET] bytes (0,
+    negative or unset = no cache) unless overridden. *)
+val default_cache : unit -> cache option
+
+(** CLI override of the default: [Some b] with [b > 0] installs a fresh
+    bounded cache, [Some b] with [b <= 0] disables the default cache,
+    [None] restores the environment behavior. *)
+val set_default_cache_budget : int option -> unit
+
+(** [with_default_cache c f] runs [f] with the process default forced
+    to [c] ([None] = no default cache), restoring on exit. *)
+val with_default_cache : cache option -> (unit -> 'a) -> 'a
+
 (** Execute a plan over named in-memory datasets. Pass [?sched] to
     charge wall-clock from a task-level schedule (with fault injection
     and speculative execution) instead of the closed-form estimate.
@@ -57,6 +86,24 @@ type run = {
     [spill_fault_prob], run files are lost with that probability at
     merge time and re-materialized from lineage, without observable
     effect on results.
+
+    [cache] serves repeated side-effect-free subplans (join sides,
+    cross-call reuse) from their previous materialization, keyed by
+    lineage — plan structure with physically identical closures, source
+    dataset identities, backend and resolved spill budget — with
+    outputs and stage metrics byte-identical to recomputation; an
+    [engine.cache] span with [cache_hits] / [cache_misses] /
+    [cache_bytes] / [cache_evictions] / [cache_invalidations] counters
+    carries the real story. When absent, the process default applies
+    ({!default_cache}, environment [CASPER_CACHE_BUDGET]) — except for
+    instrumented (enabled-[obs]) runs, which bypass the default so
+    traces and counters always describe a real execution. Cached bytes
+    share the live-byte ledger with [memory_budget]: under pressure the
+    engine evicts cache entries before letting grouped stages spill.
+    When [sched]'s fault profile sets [cache_fault_prob], each hit may
+    find the partition lost; the entry is invalidated and the plan
+    recomputed from lineage, without observable effect on results
+    (DESIGN.md §13).
     @raise Engine_error on unknown or duplicate dataset names, shape
     errors, shuffles on a cluster with no worker slots, and spill I/O
     failures. *)
@@ -65,6 +112,7 @@ val run_plan :
   ?obs:Casper_obs.Obs.ctx ->
   ?pool:Casper_par.Par.pool ->
   ?memory_budget:int ->
+  ?cache:cache ->
   cluster:Cluster.t ->
   datasets:(string * Value.t list) list ->
   Plan.t ->

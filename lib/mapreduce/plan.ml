@@ -73,6 +73,38 @@ let stage_label = function
   | Sample_monitor { label; _ } ->
       label
 
+(** Source dataset names the plan reads — the main source first, then
+    each join side depth-first — with duplicates removed. *)
+let sources (p : t) : string list =
+  let seen = Hashtbl.create 8 in
+  let rev = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      rev := s :: !rev
+    end
+  in
+  let rec go (p : t) =
+    add p.source;
+    List.iter
+      (function Join_with { right; _ } -> go right | _ -> ())
+      p.stages
+  in
+  go p;
+  List.rev !rev
+
+(** Whether replaying a previous run of the plan is observationally
+    equivalent to re-executing it. [Sample_monitor] stages carry an
+    [observe] side effect that must fire on every run, so plans
+    containing one (anywhere, including join sides) are not cacheable. *)
+let rec cacheable (p : t) : bool =
+  List.for_all
+    (function
+      | Sample_monitor _ -> false
+      | Join_with { right; _ } -> cacheable right
+      | _ -> true)
+    p.stages
+
 (** Number of shuffle boundaries (= job boundaries on Hadoop). *)
 let rec shuffle_count (p : t) : int =
   List.fold_left

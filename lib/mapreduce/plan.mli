@@ -63,5 +63,15 @@ val global_reduce :
 val join_with : ?label:string -> t -> stage
 val stage_label : stage -> string
 
+(** Source dataset names the plan reads — the main source first, then
+    each join side depth-first — with duplicates removed. *)
+val sources : t -> string list
+
+(** Whether replaying a previous run of the plan is observationally
+    equivalent to re-executing it: [false] iff the plan contains a
+    [Sample_monitor] stage (anywhere, including join sides), whose
+    [observe] side effect must fire on every run. *)
+val cacheable : t -> bool
+
 (** Number of shuffle boundaries (= job boundaries on Hadoop). *)
 val shuffle_count : t -> int

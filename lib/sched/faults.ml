@@ -39,6 +39,10 @@ type profile = {
       (** per spill-run-file open: chance the engine's out-of-core
           shuffle finds the run lost and must re-materialize it from
           lineage (DESIGN.md §12) *)
+  cache_fault_prob : float;
+      (** per dataset-cache hit: chance the cached partition is found
+          lost; the engine invalidates the entry and falls back to
+          lineage recomputation (DESIGN.md §13) *)
 }
 
 let none =
@@ -49,6 +53,7 @@ let none =
     straggler_slowdown = 1.0;
     lost_partition_prob = 0.0;
     spill_fault_prob = 0.0;
+    cache_fault_prob = 0.0;
   }
 
 (** A profile that only kills [fraction] of the workers. *)
@@ -60,3 +65,6 @@ let stragglers ?(seed = 1) ~fraction ~slowdown () =
 
 (** A profile that only loses spill run files with probability [prob]. *)
 let spill_faults ?(seed = 1) prob = { none with seed; spill_fault_prob = prob }
+
+(** A profile that only loses cached partitions with probability [prob]. *)
+let cache_faults ?(seed = 1) prob = { none with seed; cache_fault_prob = prob }

@@ -24,6 +24,10 @@ type profile = {
       (** per spill-run-file open: chance the engine's out-of-core
           shuffle finds the run lost and must re-materialize it from
           lineage *)
+  cache_fault_prob : float;
+      (** per dataset-cache hit: chance the cached partition is found
+          lost; the engine invalidates the entry and falls back to
+          lineage recomputation *)
 }
 
 (** The fault-free profile (seed 0, nothing injected). *)
@@ -39,3 +43,8 @@ val stragglers : ?seed:int -> fraction:float -> slowdown:float -> unit -> profil
     the engine recovers each loss from lineage, leaving outputs
     untouched. *)
 val spill_faults : ?seed:int -> float -> profile
+
+(** A profile that only loses cached partitions with probability
+    [prob]; the engine invalidates each lost entry and recomputes from
+    lineage, leaving outputs untouched. *)
+val cache_faults : ?seed:int -> float -> profile

@@ -1,0 +1,500 @@
+(** Tests for the lineage-aware dataset cache: the cross-feature
+    byte-identity matrix (cache × jobs × granularity × spill), LRU and
+    pin/unpin semantics, eviction-before-spill, fingerprint stability,
+    the join argument-plumbing regression, golden cache traces, and the
+    cost model's cached-input term. *)
+
+module Plan = Mapreduce.Plan
+module Engine = Mapreduce.Engine
+module Cache = Mapreduce.Cache
+module Cluster = Mapreduce.Cluster
+module Spill = Mapreduce.Spill
+module Value = Casper_common.Value
+module Par = Casper_par.Par
+module Obs = Casper_obs.Obs
+module Ir = Casper_ir.Lang
+module Infer = Casper_ir.Infer
+module Cost = Casper_cost.Cost
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let vint n = Value.Int n
+let ints l = List.map vint l
+let kv k v = Value.Tuple [ k; v ]
+let add_i a b = vint (Value.as_int a + Value.as_int b)
+
+(* non-commutative, non-associative combiner: serving a cached result
+   computed under a different pool size or granularity would diverge
+   immediately if the engine were not byte-deterministic *)
+let nest a b = Value.Tuple [ a; b ]
+
+let pools = lazy (List.map (fun j -> (j, Par.create ~jobs:j)) [ 1; 2; 4 ])
+
+let run_cached ?sched ?obs ?cache ~jobs ~rpt ~memory_budget plan datasets =
+  let pool = List.assoc jobs (Lazy.force pools) in
+  let saved_rpt = !Par.records_per_task
+  and saved_ic = !Par.inline_cutoff in
+  Fun.protect
+    ~finally:(fun () ->
+      Par.records_per_task := saved_rpt;
+      Par.inline_cutoff := saved_ic)
+    (fun () ->
+      Par.records_per_task := rpt;
+      Par.inline_cutoff := 0;
+      Engine.run_plan ?sched ?obs ?cache ~pool ~memory_budget
+        ~cluster:Cluster.spark ~datasets plan)
+
+let wc_plan =
+  Plan.(
+    data "w" |>> map_to_pair (fun w -> (w, vint 1)) |>> reduce_by_key add_i)
+
+let wc_words n =
+  let rng = Casper_common.Rng.create 9 in
+  Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:60 ~skew:1.0)
+
+(* ---------------- the equivalence matrix ---------------- *)
+
+(* cache {off, budget 1, 4096, unbounded} × jobs {1,2,4} ×
+   records_per_task {1,1024} × memory_budget {in-memory, 4096}: every
+   point must agree with the uncached in-memory jobs=1 run on output
+   AND stage metrics. The plan and dataset values are fixed per case
+   and each cache is shared across its whole sub-grid, so later points
+   really are served from entries populated by earlier ones (the
+   unbounded cache must record hits to prove it). *)
+
+let case_gen =
+  QCheck.Gen.(
+    triple
+      (list_size (int_bound 60) (pair (int_bound 8) small_signed_int))
+      (list_size (int_bound 20) (pair (int_bound 8) small_signed_int))
+      (int_bound 3))
+
+let case_arb =
+  QCheck.make
+    ~print:(fun (l1, l2, shape) ->
+      Printf.sprintf "shape=%d d=[%s] e=[%s]" shape
+        (String.concat ";"
+           (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l1))
+        (String.concat ";"
+           (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l2)))
+    case_gen
+
+let mk_plan = function
+  | 0 -> Plan.(data "d" |>> reduce_by_key nest)
+  | 1 -> Plan.(data "d" |>> group_by_key ())
+  | 2 ->
+      Plan.(
+        data "d"
+        |>> map_values (fun v -> add_i v (vint 1))
+        |>> reduce_by_key add_i)
+  | _ -> Plan.(data "d" |>> join_with Plan.(data "e" |>> reduce_by_key add_i))
+
+let prop_cache_matrix =
+  QCheck.Test.make
+    ~name:"cached runs are byte-identical across the full grid" ~count:25
+    case_arb (fun (l1, l2, shape) ->
+      Engine.with_default_cache None @@ fun () ->
+      let mk l = List.map (fun (k, v) -> kv (vint k) (vint v)) l in
+      let datasets = [ ("d", mk l1); ("e", mk l2) ] in
+      let plan = mk_plan shape in
+      let base =
+        run_cached ~jobs:1 ~rpt:1024 ~memory_budget:0 plan datasets
+      in
+      let tiny = Engine.make_cache ~budget:1 () in
+      let mid = Engine.make_cache ~budget:4096 () in
+      let unbounded = Engine.make_cache () in
+      let ok =
+        List.for_all
+          (fun cache ->
+            List.for_all
+              (fun jobs ->
+                List.for_all
+                  (fun memory_budget ->
+                    List.for_all
+                      (fun rpt ->
+                        let r =
+                          run_cached ?cache ~jobs ~rpt ~memory_budget plan
+                            datasets
+                        in
+                        r.Engine.output = base.Engine.output
+                        && r.Engine.stages = base.Engine.stages)
+                      [ 1; 1024 ])
+                  [ 0; 4096 ])
+              [ 1; 2; 4 ])
+          [ None; Some tiny; Some mid; Some unbounded ]
+      in
+      (* 12 runs over 2 lineage keys (the two spill budgets): the
+         unbounded sub-grid must have been served mostly from cache *)
+      ok && (Engine.cache_stats unbounded).Cache.hits > 0)
+
+(* ---------------- cache unit semantics ---------------- *)
+
+(* keys for distinct single-source plans; each key value is reused so
+   identity (dataset physical equality) is preserved across calls *)
+let mk_key name =
+  Cache.key ~cluster:Cluster.spark ~budget:None
+    ~datasets:[ (name, ints [ 1 ]) ]
+    (Plan.data name)
+
+let test_lru_order () =
+  let c : int Cache.t = Cache.create ~budget:100 () in
+  let ka = mk_key "a" and kb = mk_key "b" and kc = mk_key "c" in
+  check_int "put a" 0 (Cache.put c ka ~bytes:40 1);
+  check_int "put b" 0 (Cache.put c kb ~bytes:40 2);
+  (* touching a makes b the least recently used entry *)
+  check "touch a" true (Cache.find c ka = Some 1);
+  check_int "put c evicts exactly one" 1 (Cache.put c kc ~bytes:40 3);
+  check "a survived (recently used)" true (Cache.find c ka = Some 1);
+  check "b evicted (LRU)" true (Cache.find c kb = None);
+  check "c resident" true (Cache.find c kc = Some 3);
+  check_int "live bytes" 80 (Cache.bytes c);
+  check_int "evictions counted" 1 (Cache.stats c).Cache.evictions
+
+let test_pin_survives_pressure () =
+  let c : int Cache.t = Cache.create ~budget:100 () in
+  let ka = mk_key "a" and kb = mk_key "b" and kc = mk_key "c"
+  and kd = mk_key "d" in
+  ignore (Cache.put c ka ~bytes:40 1 : int);
+  check "pin a" true (Cache.pin c ka);
+  ignore (Cache.put c kb ~bytes:40 2 : int);
+  ignore (Cache.put c kc ~bytes:40 3 : int);
+  (* a is the oldest entry but pinned: b takes the eviction *)
+  check "pinned a survives" true (Cache.find c ka = Some 1);
+  check "unpinned LRU b evicted" true (Cache.find c kb = None);
+  ignore (Cache.put c kd ~bytes:40 4 : int);
+  check "pinned a still survives" true (Cache.find c ka = Some 1);
+  check "c evicted next" true (Cache.find c kc = None);
+  (* pinned bytes cannot be shed *)
+  check_int "shrink_to 0 spares the pin" 1 (Cache.shrink_to c 0);
+  check "a pinned through shrink" true (Cache.find c ka = Some 1);
+  check "unpin a" true (Cache.unpin c ka);
+  check_int "now evictable" 1 (Cache.shrink_to c 0);
+  check_int "empty" 0 (Cache.bytes c)
+
+let test_budget_one_degenerates () =
+  let c : int Cache.t = Cache.create ~budget:1 () in
+  let ka = mk_key "a" in
+  check_int "insert immediately evicts itself" 1 (Cache.put c ka ~bytes:40 1);
+  check "nothing resident" true (Cache.find c ka = None)
+
+let test_invalidate_and_clear () =
+  let c : int Cache.t = Cache.create () in
+  let ka = mk_key "a" and kb = mk_key "b" in
+  ignore (Cache.put c ka ~bytes:10 1 : int);
+  ignore (Cache.put c kb ~bytes:10 2 : int);
+  check "invalidate live" true (Cache.invalidate c ka);
+  check "invalidate dead" false (Cache.invalidate c ka);
+  check "gone" true (Cache.find c ka = None);
+  Cache.clear c;
+  check "clear drops all" true (Cache.find c kb = None);
+  check_int "no bytes" 0 (Cache.bytes c)
+
+(* the fingerprint hashes the structural skeleton only — no closures,
+   no hash-cons ids — so clearing and re-interning the IR interners
+   cannot move an entry to a different bucket *)
+let test_fingerprint_stable_across_hashcons_clear () =
+  let datasets = [ ("w", wc_words 100) ] in
+  let budget = Spill.default_budget () in
+  let k1 = Cache.key ~cluster:Cluster.spark ~budget ~datasets wc_plan in
+  let cache = Engine.make_cache () in
+  ignore
+    (Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets wc_plan
+      : Engine.run);
+  Casper_ir.Hashcons.clear ();
+  let k2 = Cache.key ~cluster:Cluster.spark ~budget ~datasets wc_plan in
+  check_int "fingerprint unchanged by Hashcons.clear" (Cache.fingerprint k1)
+    (Cache.fingerprint k2);
+  check "keys equal" true (Cache.equal_key k1 k2);
+  check "entry still served" true (Option.is_some (Cache.find cache k2))
+
+(* same skeleton, different closures: same bucket, different lineage *)
+let test_fingerprint_is_not_equality () =
+  let p1 = Plan.(data "d" |>> map (fun x -> x)) in
+  let p2 = Plan.(data "d" |>> map (fun x -> x)) in
+  let d = [ ("d", ints [ 1 ]) ] in
+  let k1 = Cache.key ~cluster:Cluster.spark ~budget:None ~datasets:d p1 in
+  let k2 = Cache.key ~cluster:Cluster.spark ~budget:None ~datasets:d p2 in
+  check_int "same skeleton, same fingerprint" (Cache.fingerprint k1)
+    (Cache.fingerprint k2);
+  check "different closures, different lineage" false
+    (Cache.equal_key k1 k2)
+
+(* ---------------- engine integration ---------------- *)
+
+let test_plan_sources_and_cacheable () =
+  let join = mk_plan 3 in
+  check "join sources" true (Plan.sources join = [ "d"; "e" ]);
+  check "wc cacheable" true (Plan.cacheable wc_plan);
+  let monitored =
+    Plan.(
+      data "d"
+      |>> Plan.Sample_monitor { label = "monitor"; k = 3; observe = ignore })
+  in
+  check "sample_monitor is not cacheable" false (Plan.cacheable monitored)
+
+(* Sample_monitor's observe side effect must fire on every run, so
+   monitored plans bypass the cache entirely *)
+let test_monitored_plan_not_cached () =
+  let count = ref 0 in
+  let plan =
+    Plan.(
+      data "d"
+      |>> Plan.Sample_monitor
+            { label = "monitor"; k = 2; observe = (fun _ -> incr count) })
+  in
+  let datasets = [ ("d", ints [ 1; 2; 3 ]) ] in
+  let cache = Engine.make_cache () in
+  let r1 = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets plan in
+  let r2 = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets plan in
+  check_int "observe fired on both runs" 2 !count;
+  check_int "nothing inserted" 0 (Engine.cache_stats cache).Cache.insertions;
+  check "outputs still equal" true (r1.Engine.output = r2.Engine.output)
+
+(* the regression the exec_ctx refactor exists for: a recursive
+   (join-side) execution must see the same optional arguments as the
+   top-level call — had ?cache been dropped on the join branch, the
+   join side would never populate and the standalone run below would
+   miss *)
+let test_join_threads_cache () =
+  Engine.with_default_cache None @@ fun () ->
+  let right = Plan.(data "e" |>> reduce_by_key add_i) in
+  let plan = Plan.(data "d" |>> join_with right) in
+  let datasets =
+    [
+      ("d", [ kv (vint 1) (vint 10); kv (vint 2) (vint 20) ]);
+      ("e", [ kv (vint 1) (vint 5); kv (vint 1) (vint 6) ]);
+    ]
+  in
+  let cache = Engine.make_cache () in
+  let r = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets plan in
+  let s1 = Engine.cache_stats cache in
+  check_int "join populated outer AND join-side entries" 2
+    s1.Cache.insertions;
+  (* the standalone join-side run is served from the entry the nested
+     execution populated *)
+  let rr = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets right in
+  let s2 = Engine.cache_stats cache in
+  check_int "standalone join-side run hits" (s1.Cache.hits + 1)
+    s2.Cache.hits;
+  let rbase = Engine.run_plan ~cluster:Cluster.spark ~datasets right in
+  check "served output byte-identical" true
+    (rr.Engine.output = rbase.Engine.output);
+  (* and a repeated outer run is served whole *)
+  let r2 = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets plan in
+  check "whole-plan hit is byte-identical" true
+    (r2.Engine.output = r.Engine.output && r2.Engine.stages = r.Engine.stages)
+
+(* cached partitions share the live-byte ledger with ?memory_budget:
+   under pressure the engine sheds cache entries (cheap, re-derivable)
+   before letting the grouped stages spill *)
+let test_eviction_before_spill () =
+  Engine.with_default_cache None @@ fun () ->
+  let datasets = [ ("w", wc_words 400) ] in
+  let cache = Engine.make_cache () in
+  let r0 = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets wc_plan in
+  check "fat entry resident" true (Cache.bytes cache > 64);
+  let r1 =
+    Engine.run_plan ~cache ~memory_budget:64 ~cluster:Cluster.spark ~datasets
+      wc_plan
+  in
+  let s = Engine.cache_stats cache in
+  check "pressure evicted the resident entry" true (s.Cache.evictions > 0);
+  check "outputs unchanged by the shed + spill" true
+    (r1.Engine.output = r0.Engine.output)
+
+(* a sched fault profile may declare a cached partition lost mid-run:
+   the entry is invalidated and the plan recomputed from lineage,
+   byte-identically *)
+let test_cache_fault_invalidates_and_recomputes () =
+  Engine.with_default_cache None @@ fun () ->
+  let datasets = [ ("w", wc_words 200) ] in
+  let cache = Engine.make_cache () in
+  let base = Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets wc_plan in
+  let sched =
+    Sched.Coordinator.config ~faults:(Sched.Faults.cache_faults ~seed:3 1.0)
+      ()
+  in
+  (* probability 1: every hit is declared lost *)
+  let r =
+    Engine.run_plan ~sched ~cache ~cluster:Cluster.spark ~datasets wc_plan
+  in
+  let s = Engine.cache_stats cache in
+  check "entry was invalidated" true (s.Cache.invalidations > 0);
+  check "recomputed output identical" true
+    (r.Engine.output = base.Engine.output);
+  check "recomputed metrics identical" true
+    (r.Engine.stages = base.Engine.stages);
+  (* the recomputation repopulated the entry *)
+  check "repopulated" true (s.Cache.insertions >= 2)
+
+let test_default_cache_override () =
+  Fun.protect ~finally:(fun () -> Engine.set_default_cache_budget None)
+  @@ fun () ->
+  Engine.set_default_cache_budget (Some 100_000);
+  let c =
+    match Engine.default_cache () with
+    | Some c -> c
+    | None -> Alcotest.fail "expected a default cache"
+  in
+  check "budget installed" true (Cache.budget c = Some 100_000);
+  let datasets = [ ("w", wc_words 150) ] in
+  ignore (Engine.run_plan ~cluster:Cluster.spark ~datasets wc_plan : Engine.run);
+  ignore (Engine.run_plan ~cluster:Cluster.spark ~datasets wc_plan : Engine.run);
+  check "second uninstrumented run was served" true
+    ((Engine.cache_stats c).Cache.hits > 0);
+  Engine.set_default_cache_budget (Some 0);
+  check "budget 0 disables the default" true (Engine.default_cache () = None)
+
+(* ---------------- golden cache traces ---------------- *)
+
+(* shapes are defined at the in-memory spill path (see test_obs.ml);
+   the input is small enough to stay on the inline path at any jobs *)
+
+let test_golden_cache_hit_trace () =
+  Spill.with_default_budget None @@ fun () ->
+  let datasets = [ ("w", wc_words 120) ] in
+  let cache = Engine.make_cache () in
+  ignore (Engine.run_plan ~cache ~cluster:Cluster.spark ~datasets wc_plan : Engine.run);
+  let obs = Obs.create ~clock:(Obs.virtual_clock ~seed:5 ()) () in
+  ignore
+    (Engine.run_plan ~obs ~cache ~cluster:Cluster.spark ~datasets wc_plan
+      : Engine.run);
+  check "well formed" true (Obs.well_formed obs);
+  check_str "cache-hit trace shape"
+    "engine.run_plan\n  engine.cache[cache_hits]\n" (Obs.shape obs)
+
+let test_golden_cache_evict_trace () =
+  Spill.with_default_budget None @@ fun () ->
+  let datasets = [ ("w", wc_words 120) ] in
+  (* budget 1: the insert immediately evicts its own entry *)
+  let cache = Engine.make_cache ~budget:1 () in
+  let obs = Obs.create ~clock:(Obs.virtual_clock ~seed:5 ()) () in
+  ignore
+    (Engine.run_plan ~obs ~cache ~cluster:Cluster.spark ~datasets wc_plan
+      : Engine.run);
+  check "well formed" true (Obs.well_formed obs);
+  check_str "cache-evict trace shape"
+    "engine.run_plan\n\
+    \  mapToPair[records_out]\n\
+    \  reduceByKey[records_out,shuffle_bytes,shuffle_records]\n\
+    \  engine.cache[cache_bytes,cache_evictions,cache_misses]\n"
+    (Obs.shape obs)
+
+(* regression pin: with the cache disabled the trace is byte-identical
+   to the pre-cache golden — and installing a process-default cache
+   must not change it either, because instrumented runs bypass the
+   default (so the golden holds under any CASPER_CACHE_BUDGET) *)
+let test_cache_disabled_golden () =
+  Spill.with_default_budget None @@ fun () ->
+  let datasets = [ ("w", wc_words 120) ] in
+  let shape_with default =
+    Engine.with_default_cache default @@ fun () ->
+    let obs = Obs.create ~clock:(Obs.virtual_clock ~seed:5 ()) () in
+    ignore
+      (Engine.run_plan ~obs ~cluster:Cluster.spark ~datasets wc_plan
+        : Engine.run);
+    Obs.shape obs
+  in
+  let expected =
+    "engine.run_plan\n\
+    \  mapToPair[records_out]\n\
+    \  reduceByKey[records_out,shuffle_bytes,shuffle_records]\n"
+  in
+  check_str "cache-disabled golden" expected (shape_with None);
+  check_str "default cache bypassed for instrumented runs" expected
+    (shape_with (Some (Engine.make_cache ())))
+
+(* ---------------- the cost model's cached-input term -------------- *)
+
+let tenv = { Infer.vars = []; structs = [] }
+let record_ty _ = Ir.TString
+let card _ = 1000.0
+let ca_eps _ _ = 1.0
+
+let mk_map key value =
+  {
+    Ir.m_params = [ "w" ];
+    emits = [ { Ir.guard = None; payload = Ir.KV (key, value) } ];
+  }
+
+let read_summary d =
+  {
+    Ir.pipeline = Ir.Map (Ir.Data d, mk_map (Ir.Var "w") (Ir.CBool true));
+    bindings = [ ("o", Ir.Whole) ];
+  }
+
+let cost est s = Cost.cost_of_summary tenv record_ty card est s
+
+let test_cached_input_term () =
+  let plain = Cost.static_estimator ~guard_prob:1.0 ~reduce_eps:ca_eps () in
+  let with_resident resident =
+    Cost.static_estimator ~guard_prob:1.0 ~reduce_eps:ca_eps
+      ~cached_input:resident ()
+  in
+  let sa = read_summary "a" and sb = read_summary "b" in
+  (* no cached_input: the pre-cache formulas exactly *)
+  Alcotest.(check (float 1e-6))
+    "None prices both reads alike" (cost plain sa) (cost plain sb);
+  (* all-resident: reads are free, totals match the pre-cache cost *)
+  let all = with_resident (fun _ -> true) in
+  Alcotest.(check (float 1e-6))
+    "resident read is free" (cost plain sa) (cost all sa);
+  (* only "a" resident: the monitor now prefers the cache-resident plan
+     by exactly the Wread · N · sizeOf(String) read term *)
+  let only_a = with_resident (fun d -> d = "a") in
+  check "cache-resident plan is cheaper" true
+    (cost only_a sa < cost only_a sb);
+  Alcotest.(check (float 1e-6))
+    "cold read charged Wread·N·size"
+    (Cost.w_read *. 1000.0 *. 40.0)
+    (cost only_a sb -. cost only_a sa)
+
+let suite =
+  [
+    ( "cache.matrix",
+      [ QCheck_alcotest.to_alcotest prop_cache_matrix ] );
+    ( "cache.unit",
+      [
+        Alcotest.test_case "LRU eviction order" `Quick test_lru_order;
+        Alcotest.test_case "pin survives pressure" `Quick
+          test_pin_survives_pressure;
+        Alcotest.test_case "budget 1 degenerates to pass-through" `Quick
+          test_budget_one_degenerates;
+        Alcotest.test_case "invalidate + clear" `Quick
+          test_invalidate_and_clear;
+        Alcotest.test_case "fingerprint stable across Hashcons.clear" `Quick
+          test_fingerprint_stable_across_hashcons_clear;
+        Alcotest.test_case "fingerprint is not equality" `Quick
+          test_fingerprint_is_not_equality;
+      ] );
+    ( "cache.engine",
+      [
+        Alcotest.test_case "plan sources + cacheable" `Quick
+          test_plan_sources_and_cacheable;
+        Alcotest.test_case "monitored plans bypass the cache" `Quick
+          test_monitored_plan_not_cached;
+        Alcotest.test_case "join threads the cache (exec_ctx)" `Quick
+          test_join_threads_cache;
+        Alcotest.test_case "eviction before spill" `Quick
+          test_eviction_before_spill;
+        Alcotest.test_case "lost partition recomputes from lineage" `Quick
+          test_cache_fault_invalidates_and_recomputes;
+        Alcotest.test_case "default cache override" `Quick
+          test_default_cache_override;
+      ] );
+    ( "cache.obs",
+      [
+        Alcotest.test_case "golden cache-hit trace" `Quick
+          test_golden_cache_hit_trace;
+        Alcotest.test_case "golden cache-evict trace" `Quick
+          test_golden_cache_evict_trace;
+        Alcotest.test_case "cache-disabled golden unchanged" `Quick
+          test_cache_disabled_golden;
+      ] );
+    ( "cache.cost",
+      [
+        Alcotest.test_case "cached-input read term" `Quick
+          test_cached_input_term;
+      ] );
+  ]

@@ -102,7 +102,12 @@ let test_exception_safety () =
    (which tracks appear at jobs>1 is scheduling-dependent). The spill
    budget is pinned to unbounded for the same reason: under
    CASPER_MEM_BUDGET the grouped stages grow spill counters and a
-   merge span, and the goldens are defined at the in-memory path. *)
+   merge span, and the goldens are defined at the in-memory path. The
+   dataset cache needs no pinning: instrumented runs bypass the
+   process-default cache by construction, so these shapes are
+   byte-identical under any CASPER_CACHE_BUDGET — which the
+   cache-budget CI job exercises, and obs.cache_disabled_golden in
+   test_cache.ml pins explicitly. *)
 let seq_pool = Casper_par.Par.create ~jobs:1
 
 let traced_pipeline ?(execute = false) bench_name =
