@@ -1846,6 +1846,193 @@ let cache_perf () =
   Fmt.pr "wrote BENCH_cache.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Serving sessions: a mixed plan stream at concurrency 1 / 2 / 4       *)
+
+(** A serving workload: a mixed stream of WordCount / Mean / TPC-H-Q6
+    style plans, each job with its own dataset, submitted to one
+    {!Exec.Session} and awaited. Three concurrency levels share the
+    same stream; every job's output and stage accounting is asserted
+    byte-identical to a solo [Engine.run_plan] (hard failure — the
+    session determinism contract, DESIGN.md §14). Throughput per level
+    is reported honestly: on a single-core host concurrency cannot pay
+    and the JSON records [recommended_domains] so readers can tell; a
+    >= 4-core host must show >= 2x at concurrency 4 or the section
+    fails. Results land in [BENCH_serve.json]. *)
+let serve_perf () =
+  section "Serving sessions: mixed plan stream at concurrency 1 / 2 / 4";
+  let module Exec = Casper_exec.Exec in
+  (* pin both process defaults: each job has a distinct dataset, so a
+     cache would only add lookup overhead — the claim here is dispatch
+     overlap, not memoization *)
+  Engine.with_default_cache None @@ fun () ->
+  Mapreduce.Spill.with_default_budget None @@ fun () ->
+  let host = Domain.recommended_domain_count () in
+  let cluster = Cluster.spark in
+  let vi = Value.as_int in
+  let wc_plan =
+    Plan.(
+      data "words"
+      |>> map_to_pair (fun w -> (w, Value.Int 1))
+      |>> reduce_by_key ~comm_assoc:true (fun a b ->
+              Value.Int (vi a + vi b)))
+  in
+  let mean_plan =
+    Plan.(
+      data "nums"
+      |>> map (fun x -> Value.Tuple [ x; Value.Int 1 ])
+      |>> global_reduce ~comm_assoc:true (fun a b ->
+              match (a, b) with
+              | Value.Tuple [ s1; n1 ], Value.Tuple [ s2; n2 ] ->
+                  Value.Tuple
+                    [ Value.Int (vi s1 + vi s2); Value.Int (vi n1 + vi n2) ]
+              | _ -> assert false))
+  in
+  let q6_plan =
+    Plan.(
+      data "lineitem"
+      |>> filter (fun r ->
+              match r with
+              | Value.Tuple [ _; disc; qty ] -> vi disc >= 5 && vi qty < 24
+              | _ -> false)
+      |>> map (fun r ->
+              match r with
+              | Value.Tuple [ price; disc; _ ] -> Value.Int (vi price * vi disc)
+              | _ -> assert false)
+      |>> global_reduce ~comm_assoc:true (fun a b -> Value.Int (vi a + vi b)))
+  in
+  let per_plan = 6 in
+  (* one dataset per (workload, job index), generated once and shared
+     by the solo baselines and every concurrency level *)
+  let jobs =
+    List.concat
+      (List.init per_plan (fun j ->
+           let rng = Rng.create (100 + j) in
+           let words =
+             Value.as_list
+               (Casper_suites.Workload.words rng ~n:20_000 ~vocab:400
+                  ~skew:1.1)
+           in
+           let nums =
+             List.init 40_000 (fun i -> Value.Int (Rng.int rng 1_000 + (i mod 7)))
+           in
+           let lineitem =
+             List.init 40_000 (fun _ ->
+                 Value.Tuple
+                   [
+                     Value.Int (Rng.int rng 10_000);
+                     Value.Int (Rng.int rng 11);
+                     Value.Int (Rng.int rng 50);
+                   ])
+           in
+           [
+             ("wc", wc_plan, [ ("words", words) ]);
+             ("mean", mean_plan, [ ("nums", nums) ]);
+             ("q6", q6_plan, [ ("lineitem", lineitem) ]);
+           ]))
+  in
+  let solo =
+    List.map
+      (fun (_, plan, datasets) -> Engine.run_plan ~cluster ~datasets plan)
+      jobs
+  in
+  let reps = 3 in
+  let run_at conc =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let config =
+        { Exec.Config.default with Exec.Config.concurrency = Some conc }
+      in
+      let t0 = Obs.wall_clock () in
+      Exec.Session.with_session ~config (fun s ->
+          let handles =
+            List.map
+              (fun (_, plan, datasets) ->
+                Exec.Session.submit s ~cluster ~datasets plan)
+              jobs
+          in
+          List.iteri
+            (fun i h ->
+              match Exec.Session.await s h with
+              | Exec.Session.Completed r ->
+                  let b = List.nth solo i in
+                  let name, _, _ = List.nth jobs i in
+                  if r.Engine.output <> b.Engine.output then
+                    failwith
+                      (Fmt.str
+                         "serve_perf: %s job %d output differs at \
+                          concurrency %d"
+                         name i conc);
+                  if r.Engine.stages <> b.Engine.stages then
+                    failwith
+                      (Fmt.str
+                         "serve_perf: %s job %d stage accounting differs \
+                          at concurrency %d"
+                         name i conc)
+              | Exec.Session.Cancelled r ->
+                  failwith
+                    (Fmt.str "serve_perf: job %d spuriously cancelled (%s)" i
+                       r)
+              | Exec.Session.Failed m ->
+                  failwith (Fmt.str "serve_perf: job %d failed: %s" i m))
+            handles);
+      let dt = Obs.wall_clock () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let n_jobs = List.length jobs in
+  let results = List.map (fun conc -> (conc, run_at conc)) [ 1; 2; 4 ] in
+  let base = List.assoc 1 results in
+  T.print
+    ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right ]
+    ([ "concurrency"; "jobs"; "wall (s)"; "jobs/s"; "speedup" ]
+    :: List.map
+         (fun (conc, w) ->
+           [
+             string_of_int conc;
+             string_of_int n_jobs;
+             T.f ~digits:3 w;
+             T.f ~digits:1 (float_of_int n_jobs /. w);
+             T.fx (base /. w);
+           ])
+         results);
+  Fmt.pr
+    "@.outputs and stage accounting byte-identical to solo runs at every \
+     concurrency: yes (%d jobs x 3 levels)@.host recommended domains: %d@."
+    n_jobs host;
+  let speedup4 = base /. List.assoc 4 results in
+  J.write_file "BENCH_serve.json"
+    (J.Obj
+       [
+         ("schema", J.Str "casper-bench-serve/v1");
+         ("identical_outputs", J.Bool true);
+         ("recommended_domains", J.Int host);
+         ("jobs", J.Int n_jobs);
+         ("reps", J.Int reps);
+         ( "runs",
+           J.List
+             (List.map
+                (fun (conc, w) ->
+                  J.Obj
+                    [
+                      ("concurrency", J.Int conc);
+                      ("wall_s", J.Float w);
+                      ("jobs_per_s", J.Float (float_of_int n_jobs /. w));
+                      ("speedup_vs_1", J.Float (base /. w));
+                    ])
+                results) );
+       ]);
+  Fmt.pr "wrote BENCH_serve.json@.";
+  (* the throughput claim is only falsifiable where the hardware can
+     pay for overlap; a 1-core container asserting 2x would be noise *)
+  if host >= 4 && speedup4 < 2.0 then
+    failwith
+      (Fmt.str
+         "serve_perf: expected >= 2x throughput at concurrency 4 on a \
+          %d-domain host, measured %.2fx"
+         host speedup4)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 
 let micro () =
@@ -1921,6 +2108,7 @@ let sections_list =
     ("engine_perf", engine_perf);
     ("spill_perf", spill_perf);
     ("cache_perf", cache_perf);
+    ("serve_perf", serve_perf);
     ("micro", micro);
   ]
 

@@ -14,6 +14,7 @@ module Ir = Casper_ir.Lang
 module Cegis = Casper_synth.Cegis
 module Casper = Casper_core.Casper
 module Obs = Casper_obs.Obs
+module Exec = Casper_exec.Exec
 open Cmdliner
 
 let pp_analysis ppf (frag : F.t) =
@@ -44,10 +45,23 @@ let pp_analysis ppf (frag : F.t) =
 (* The --trace execute stage: run each translated fragment's best
    summary on the simulated cluster over a generated entry state, so the
    exported trace covers the full analyze → synthesize → verify →
-   execute pipeline, scheduler task spans included. *)
+   execute pipeline, scheduler task spans included. Execution goes
+   through an Exec.Session — the serving front door — at concurrency 1,
+   where jobs run on the owner domain and the engine's spans keep
+   nesting under each fragment's "execute" span. *)
 let execute_traced ?cache (obs : Obs.ctx) (report : Casper.report) : unit =
   let cluster = Mapreduce.Cluster.spark in
   let prog = report.Casper.program in
+  let config =
+    {
+      (Exec.Config.of_env ()) with
+      Exec.Config.obs = Some obs;
+      cache;
+      cluster = Some cluster;
+      concurrency = Some 1;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun session ->
   List.iter
     (fun (t : Casper.translation) ->
       match t.Casper.survivors with
@@ -65,13 +79,22 @@ let execute_traced ?cache (obs : Obs.ctx) (report : Casper.report) : unit =
             let entry = Casper_vcgen.Vc.entry_of_params prog frag env in
             Obs.span obs ~args:[ ("fragment", frag.F.frag_id) ] "execute"
             @@ fun () ->
-            let res =
-              Casper_codegen.Runner.run_summary ~obs ?cache ~cluster
-                ~scale:1.0 prog frag entry best.Cegis.summary
+            let translated =
+              Casper_codegen.Compile.compile prog frag entry
+                best.Cegis.summary
             in
-            ignore
-              (Mapreduce.Engine.schedule ~obs ~cluster ~scale:1.0
-                 res.Casper_codegen.Runner.run)
+            let datasets =
+              Casper_codegen.Runner.datasets_of prog frag entry
+            in
+            let job =
+              Exec.Session.submit session ~datasets
+                translated.Casper_codegen.Compile.plan
+            in
+            match Exec.Session.await session job with
+            | Exec.Session.Completed run ->
+                ignore
+                  (Mapreduce.Engine.schedule ~obs ~cluster ~scale:1.0 run)
+            | Exec.Session.Cancelled _ | Exec.Session.Failed _ -> ()
           with Minijava.Interp.Runtime_error _ -> ()))
     report.Casper.translations
 

@@ -32,6 +32,7 @@ module Fastpath = Casper_ir.Fastpath
 module Value = Casper_common.Value
 module Obs = Casper_obs.Obs
 module Par = Casper_par.Par
+module Exec = Casper_exec.Exec
 open Minijava
 
 type config = {
@@ -66,6 +67,11 @@ type config = {
           mid-run; outputs and stage accounting must be byte-identical
           to the uncached run (the lineage-cache contract, DESIGN.md
           §13) *)
+  check_session : bool;
+      (** submit the translated program twice to an {!Exec.Session} at
+          concurrency 1 and 4; every served run's outputs and stage
+          accounting must be byte-identical to a solo
+          [Engine.run_plan] (the serving contract, DESIGN.md §14) *)
 }
 
 let default_config ?(seed = 0) () =
@@ -84,6 +90,7 @@ let default_config ?(seed = 0) () =
     check_parallel = Some 4;
     check_spill = true;
     check_cache = true;
+    check_session = true;
   }
 
 type divergence = {
@@ -447,8 +454,16 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
                               fail tag "%s changed stage accounting" what
                           in
                           let run ?sched cache () =
-                            Engine.run_plan ?sched ~cache ~cluster ~datasets
-                              t.Compile.plan
+                            (* drives the unified config surface the
+                               way migrated call sites do *)
+                            Engine.run_plan
+                              ~config:
+                                {
+                                  Exec.Config.default with
+                                  Exec.Config.sched;
+                                  cache = Some cache;
+                                }
+                              ~cluster ~datasets t.Compile.plan
                           in
                           let tiny = Engine.make_cache ~budget:64 () in
                           check "a 64 B cache (cold)" (run tiny ());
@@ -466,6 +481,71 @@ let check_parsed (cfg : config) ~(name : string) (prog : Ast.program) :
                           in
                           check "cached-partition faults"
                             (run ~sched unbounded ()))
+                        cfg.backends;
+                    (* serving sessions: the plan submitted twice to an
+                       Exec.Session at concurrency 1 and 4, sharing one
+                       explicit cache (so the second job is served),
+                       must produce runs byte-identical to a solo
+                       uncached Engine.run_plan regardless of dispatch
+                       interleaving (the serving contract, DESIGN.md
+                       §14). First state only: the engine path is
+                       state-independent. *)
+                    if cfg.check_session && ei = 0 then
+                      List.iter
+                        (fun (cluster : Cluster.t) ->
+                          let tag = "session:" ^ cluster.Cluster.name in
+                          let base =
+                            Engine.with_default_cache None (fun () ->
+                                Engine.run_plan ~cluster ~datasets
+                                  t.Compile.plan)
+                          in
+                          List.iter
+                            (fun conc ->
+                              let config =
+                                {
+                                  Exec.Config.default with
+                                  Exec.Config.concurrency = Some conc;
+                                  cache = Some (Engine.make_cache ());
+                                }
+                              in
+                              let outcomes =
+                                Engine.with_default_cache None (fun () ->
+                                    Exec.Session.with_session ~config
+                                      (fun s ->
+                                        let jobs =
+                                          List.init 2 (fun _ ->
+                                              Exec.Session.submit s ~cluster
+                                                ~datasets t.Compile.plan)
+                                        in
+                                        List.map (Exec.Session.await s) jobs))
+                              in
+                              List.iteri
+                                (fun i outcome ->
+                                  match outcome with
+                                  | Exec.Session.Completed r ->
+                                      if r.Engine.output <> base.Engine.output
+                                      then
+                                        fail tag
+                                          "job %d at concurrency %d changed \
+                                           outputs"
+                                          i conc;
+                                      if r.Engine.stages <> base.Engine.stages
+                                      then
+                                        fail tag
+                                          "job %d at concurrency %d changed \
+                                           stage accounting"
+                                          i conc
+                                  | Exec.Session.Cancelled r ->
+                                      fail tag
+                                        "job %d at concurrency %d reported \
+                                         spurious cancellation: %s"
+                                        i conc r
+                                  | Exec.Session.Failed m ->
+                                      fail tag
+                                        "job %d at concurrency %d failed: %s"
+                                        i conc m)
+                                outcomes)
+                            [ 1; 4 ])
                         cfg.backends;
                     List.iter
                       (fun profile ->

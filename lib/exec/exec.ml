@@ -1,0 +1,387 @@
+(** Execution sessions. See exec.mli. *)
+
+module Value = Casper_common.Value
+module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
+module Engine = Mapreduce.Engine
+module Config = Mapreduce.Exec_config
+
+module Session = struct
+  type outcome =
+    | Completed of Engine.run
+    | Cancelled of string
+    | Failed of string
+
+  type jstate = Queued | Running | Done of outcome
+
+  type job = {
+    id : int;
+    priority : int;
+    deadline : float option;  (** absolute wall-clock time *)
+    j_cluster : Mapreduce.Cluster.t;
+    j_datasets : (string * Value.t list) list;
+    j_plan : Mapreduce.Plan.t;
+    j_bytes : int;  (** input bytes charged to the ledger while running *)
+    cancel_flag : bool Atomic.t;
+    mutable jstate : jstate;  (** guarded by the session mutex *)
+    mutable t_submit : float;
+    mutable t_start : float;
+    mutable t_end : float;
+  }
+
+  exception Overloaded
+
+  type stats = {
+    jobs_admitted : int;
+    jobs_rejected : int;
+    jobs_cancelled : int;
+    jobs_completed : int;
+    jobs_failed : int;
+    queued : int;
+    running : int;
+    queue_high_water : int;
+    ledger_bytes : int;
+    ledger_high_water : int;
+  }
+
+  type t = {
+    m : Mutex.t;  (** guards every mutable field below *)
+    cv : Condition.t;  (** any job state change *)
+    pool : Par.pool;
+    owns_pool : bool;
+    obs : Obs.ctx;
+    base : Config.t;  (** per-job engine config, cancel token excepted *)
+    concurrency : int;
+    queue_capacity : int;
+    ledger_budget : int option;
+    mutable queue : job list;  (** priority desc, then submission order *)
+    mutable queued_n : int;
+    mutable running : int;
+    mutable ledger : int;
+    mutable next_id : int;
+    mutable shut : bool;
+    mutable admitted : int;
+    mutable rejected : int;
+    mutable cancelled : int;
+    mutable completed : int;
+    mutable failed : int;
+    mutable q_hw : int;
+    mutable l_hw : int;
+    mutable log : job list;  (** every admitted job, newest first *)
+  }
+
+  let now () = Unix.gettimeofday ()
+
+  let create ?(config = Config.default) () : t =
+    let concurrency =
+      match config.Config.concurrency with
+      | Some n when n >= 1 -> n
+      | Some _ -> 1
+      | None -> Config.env_exec_concurrency ()
+    in
+    let queue_capacity =
+      match config.Config.queue_capacity with
+      | Some n when n >= 1 -> n
+      | Some _ -> 1
+      | None -> Config.env_exec_queue ()
+    in
+    let pool, owns_pool =
+      match config.Config.pool with
+      | Some p -> (p, false)
+      | None -> (Par.create ~jobs:concurrency, true)
+    in
+    (* the shared resources are resolved once here, not per job: one
+       cache, one spill/ledger budget, shared by every job however the
+       process defaults move afterwards *)
+    let cache =
+      match config.Config.cache with
+      | Some _ as c -> c
+      | None -> Config.default_cache ()
+    in
+    let budget =
+      match config.Config.memory_budget with
+      | Some b when b > 0 -> Some b
+      | Some _ -> None
+      | None -> Config.default_mem_budget ()
+    in
+    let obs =
+      match config.Config.obs with Some o -> o | None -> Obs.null
+    in
+    let base =
+      {
+        config with
+        Config.pool = Some pool;
+        cache;
+        (* freeze the resolved budget ([Some 0] = explicitly unbounded)
+           so every job — and the cache keys it creates — sees the
+           session's budget, not a later process default *)
+        memory_budget = Some (match budget with Some b -> b | None -> 0);
+        (* engine spans mutate the owner's span stack, so jobs trace
+           only when at most one runs at a time (and then on the owner,
+           which executes them while helping in [await]/[drain]) *)
+        obs = (if concurrency = 1 then config.Config.obs else None);
+        concurrency = Some concurrency;
+        queue_capacity = Some queue_capacity;
+      }
+    in
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      pool;
+      owns_pool;
+      obs;
+      base;
+      concurrency;
+      queue_capacity;
+      ledger_budget = budget;
+      queue = [];
+      queued_n = 0;
+      running = 0;
+      ledger = 0;
+      next_id = 1;
+      shut = false;
+      admitted = 0;
+      rejected = 0;
+      cancelled = 0;
+      completed = 0;
+      failed = 0;
+      q_hw = 0;
+      l_hw = 0;
+      log = [];
+    }
+
+  let concurrency t = t.concurrency
+  let queue_capacity t = t.queue_capacity
+  let job_id (j : job) = j.id
+
+  (* run one job on whatever domain dequeued it; called outside the
+     session mutex *)
+  let rec run_job (t : t) (j : job) : unit =
+    j.t_start <- now ();
+    let outcome =
+      try
+        let cancelled () =
+          Atomic.get j.cancel_flag
+          || match j.deadline with Some d -> now () > d | None -> false
+        in
+        let cfg = { t.base with Config.cancel = Some cancelled } in
+        Completed
+          (Engine.run_plan ~config:cfg ~cluster:j.j_cluster
+             ~datasets:j.j_datasets j.j_plan)
+      with
+      | Engine.Cancelled ->
+          Cancelled (if Atomic.get j.cancel_flag then "cancelled" else "deadline")
+      | Engine.Engine_error m -> Failed m
+      | e -> Failed (Printexc.to_string e)
+    in
+    j.t_end <- now ();
+    (* the ledger release and slot handoff must happen on every path,
+       cancellation and failure included *)
+    Mutex.protect t.m (fun () ->
+        t.ledger <- t.ledger - j.j_bytes;
+        t.running <- t.running - 1;
+        j.jstate <- Done outcome;
+        (match outcome with
+        | Completed _ -> t.completed <- t.completed + 1
+        | Cancelled _ -> t.cancelled <- t.cancelled + 1
+        | Failed _ -> t.failed <- t.failed + 1);
+        pump t;
+        Condition.broadcast t.cv)
+
+  (* dispatch from the queue head while slots and ledger admit; the
+     session mutex is held. Strict queue order (no skip-ahead past an
+     oversized head) keeps dispatch starvation-free. *)
+  and pump (t : t) : unit =
+    match t.queue with
+    | j :: rest when t.running < t.concurrency ->
+        let admits =
+          match t.ledger_budget with
+          | Some b -> t.running = 0 || t.ledger + j.j_bytes <= b
+          | None -> true
+        in
+        if admits then begin
+          t.queue <- rest;
+          t.queued_n <- t.queued_n - 1;
+          j.jstate <- Running;
+          t.running <- t.running + 1;
+          t.ledger <- t.ledger + j.j_bytes;
+          if t.ledger > t.l_hw then t.l_hw <- t.ledger;
+          ignore (Par.async t.pool (fun () -> run_job t j) : unit Par.future);
+          pump t
+        end
+    | _ -> ()
+
+  let dataset_bytes (datasets : (string * Value.t list) list) : int =
+    List.fold_left
+      (fun acc (_, rs) -> acc + Value.size_of_list rs)
+      0 datasets
+
+  let submit ?(priority = 0) ?deadline_s ?cluster (t : t)
+      ~(datasets : (string * Value.t list) list) (plan : Mapreduce.Plan.t) :
+      job =
+    let submitted = now () in
+    let cluster =
+      match cluster with
+      | Some c -> c
+      | None -> (
+          match t.base.Config.cluster with
+          | Some c -> c
+          | None -> Mapreduce.Cluster.spark)
+    in
+    let bytes = dataset_bytes datasets in
+    Mutex.protect t.m (fun () ->
+        if t.shut then invalid_arg "Exec.Session: session is shut down";
+        if t.queued_n >= t.queue_capacity then begin
+          t.rejected <- t.rejected + 1;
+          raise Overloaded
+        end;
+        let j =
+          {
+            id = t.next_id;
+            priority;
+            deadline = Option.map (fun d -> submitted +. d) deadline_s;
+            j_cluster = cluster;
+            j_datasets = datasets;
+            j_plan = plan;
+            j_bytes = bytes;
+            cancel_flag = Atomic.make false;
+            jstate = Queued;
+            t_submit = submitted;
+            t_start = submitted;
+            t_end = submitted;
+          }
+        in
+        t.next_id <- t.next_id + 1;
+        (* priority queue as a sorted list: after every job of >= prio
+           (submission order within a priority level) *)
+        let rec insert = function
+          | x :: rest when x.priority >= priority -> x :: insert rest
+          | tail -> j :: tail
+        in
+        t.queue <- insert t.queue;
+        t.queued_n <- t.queued_n + 1;
+        if t.queued_n > t.q_hw then t.q_hw <- t.queued_n;
+        t.admitted <- t.admitted + 1;
+        t.log <- j :: t.log;
+        pump t;
+        j)
+
+  let state (t : t) (j : job) : [ `Queued | `Running | `Done of outcome ] =
+    Mutex.protect t.m (fun () ->
+        match j.jstate with
+        | Queued -> `Queued
+        | Running -> `Running
+        | Done o -> `Done o)
+
+  let cancel (t : t) (j : job) : bool =
+    Mutex.protect t.m (fun () ->
+        match j.jstate with
+        | Done _ -> false
+        | Running ->
+            (* cooperative: the engine stops at its next stage boundary
+               and [run_job] settles the outcome and the ledger *)
+            Atomic.set j.cancel_flag true;
+            true
+        | Queued ->
+            t.queue <- List.filter (fun x -> x != j) t.queue;
+            t.queued_n <- t.queued_n - 1;
+            j.jstate <- Done (Cancelled "cancelled");
+            j.t_end <- now ();
+            t.cancelled <- t.cancelled + 1;
+            pump t;
+            Condition.broadcast t.cv;
+            true)
+
+  (* Wait until [finished t] (checked under the mutex), helping execute
+     queued pool tasks in between: on a concurrency-1 session the
+     owner domain is the only executor, so waiting must double as
+     working. When nothing is takeable and the condition still fails,
+     some worker is mid-job and will broadcast [cv]. *)
+  let wait_until (t : t) (finished : unit -> bool) : unit =
+    let rec loop () =
+      let don = Mutex.protect t.m finished in
+      if not don then
+        if Par.help t.pool then loop ()
+        else begin
+          Mutex.lock t.m;
+          if not (finished ()) then Condition.wait t.cv t.m;
+          Mutex.unlock t.m;
+          loop ()
+        end
+    in
+    loop ()
+
+  let await (t : t) (j : job) : outcome =
+    wait_until t (fun () ->
+        match j.jstate with Done _ -> true | _ -> false);
+    match j.jstate with Done o -> o | _ -> assert false
+
+  let drain (t : t) : unit =
+    wait_until t (fun () -> t.queued_n = 0 && t.running = 0)
+
+  let stats (t : t) : stats =
+    Mutex.protect t.m (fun () ->
+        {
+          jobs_admitted = t.admitted;
+          jobs_rejected = t.rejected;
+          jobs_cancelled = t.cancelled;
+          jobs_completed = t.completed;
+          jobs_failed = t.failed;
+          queued = t.queued_n;
+          running = t.running;
+          queue_high_water = t.q_hw;
+          ledger_bytes = t.ledger;
+          ledger_high_water = t.l_hw;
+        })
+
+  (* the session's trace story, flushed once from the owner domain:
+     one exec.session span carrying the admission counters, plus one
+     completed span per job on the "exec" track *)
+  let emit_obs (t : t) : unit =
+    if Obs.enabled t.obs then
+      Obs.span t.obs "exec.session" (fun () ->
+          Obs.add t.obs "jobs_admitted" t.admitted;
+          Obs.add t.obs "jobs_rejected" t.rejected;
+          Obs.add t.obs "jobs_cancelled" t.cancelled;
+          Obs.add t.obs "jobs_completed" t.completed;
+          Obs.add t.obs "jobs_failed" t.failed;
+          Obs.add t.obs "queue_high_water" t.q_hw;
+          Obs.add t.obs "ledger_high_water" t.l_hw;
+          List.iter
+            (fun (j : job) ->
+              let outcome =
+                match j.jstate with
+                | Done (Completed _) -> "completed"
+                | Done (Cancelled r) -> r
+                | Done (Failed _) -> "failed"
+                | Queued | Running -> "unsettled"
+              in
+              Obs.span_at t.obs ~track:"exec"
+                ~args:
+                  [
+                    ("outcome", outcome);
+                    ("priority", string_of_int j.priority);
+                  ]
+                ~counters:[ ("bytes", j.j_bytes) ]
+                ~t0:j.t_start ~t1:j.t_end
+                (Printf.sprintf "job-%d" j.id))
+            (List.rev t.log))
+
+  let shutdown (t : t) : unit =
+    let already = Mutex.protect t.m (fun () ->
+        let s = t.shut in
+        t.shut <- true;
+        s)
+    in
+    (* drain even when called twice: a second caller still waits for
+       in-flight jobs, but only the first flushes obs / frees the pool *)
+    drain t;
+    if not already then begin
+      emit_obs t;
+      if t.owns_pool then Par.shutdown t.pool
+    end
+
+  let with_session ?config f =
+    let t = create ?config () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end

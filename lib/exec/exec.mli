@@ -1,0 +1,142 @@
+(** Long-lived execution sessions: many plans in flight against one
+    shared domain pool, one shared lineage cache and one live-byte
+    ledger, with admission control, priorities, deadlines and
+    cooperative cancellation.
+
+    {!Engine.run_plan} executes one plan and returns; a {!Session.t}
+    is the serving front door the one-shot API is re-expressed on.
+    Jobs enter a bounded admission queue ({!Session.submit}; a full
+    queue rejects with {!Session.Overloaded}), a bounded-concurrency
+    dispatcher moves them onto the session pool as slots and ledger
+    bytes free up, and each job runs the plan through the ordinary
+    engine with the session's shared configuration. Because every job
+    executes inside one pool task (nested engine fan-out runs inline)
+    and the shared cache serves byte-identical results by contract,
+    each job's output and stage metrics are byte-identical to a solo
+    [run_plan] at any concurrency × job mix × budget — concurrency
+    moves wall-clock, never results.
+
+    Cancellation is cooperative and stage-granular: {!Session.cancel}
+    (or an expired deadline) flips the job's token, the engine polls it
+    at stage boundaries and raises [Engine.Cancelled], and the
+    dispatcher releases the job's ledger bytes; spill temp files are
+    swept by the grouped stages' own [Fun.protect] before the exception
+    propagates, so a cancelled job leaks neither bytes nor files. *)
+
+module Value = Casper_common.Value
+
+(** The unified execution-configuration record
+    ({!Mapreduce.Exec_config}): one [t] gathering
+    [sched]/[obs]/[pool]/[memory_budget]/[cache]/[cluster] plus the
+    session knobs, with precedence {e explicit field > CLI flag >
+    [CASPER_*] environment > built-in} and an [of_env] constructor. *)
+module Config = Mapreduce.Exec_config
+
+module Session : sig
+  type t
+
+  (** How a job ended. [Cancelled] carries ["cancelled"] for explicit
+      cancellation or ["deadline"] for an expired deadline; [Failed]
+      carries the exception text ({!Mapreduce.Engine.Engine_error}
+      included). *)
+  type outcome =
+    | Completed of Mapreduce.Engine.run
+    | Cancelled of string
+    | Failed of string
+
+  (** A submitted job handle. *)
+  type job
+
+  (** Raised by {!submit} when the admission queue is at capacity:
+      backpressure, not failure — the caller sheds load or retries. *)
+  exception Overloaded
+
+  type stats = {
+    jobs_admitted : int;
+    jobs_rejected : int;  (** {!Overloaded} submissions *)
+    jobs_cancelled : int;
+    jobs_completed : int;
+    jobs_failed : int;
+    queued : int;  (** jobs waiting in the admission queue right now *)
+    running : int;  (** jobs holding a dispatch slot right now *)
+    queue_high_water : int;  (** deepest the admission queue has been *)
+    ledger_bytes : int;  (** input bytes of running jobs right now *)
+    ledger_high_water : int;
+  }
+
+  (** [create ?config ()] — a session over [config] (default
+      {!Config.default}).
+
+      [config.concurrency] (default [CASPER_EXEC_CONCURRENCY], else 1)
+      bounds the jobs dispatched at once; [config.queue_capacity]
+      (default [CASPER_EXEC_QUEUE], else 64) bounds the admission
+      queue. [config.pool] shares an existing pool; absent, the session
+      owns a fresh pool sized to the concurrency (released by
+      {!shutdown}). [config.cache] is the shared lineage cache (absent:
+      the process default, {!Config.default_cache}). The resolved
+      [config.memory_budget] is both each job's spill budget and the
+      session's ledger budget: a job whose input bytes would overflow
+      the ledger waits (it is never rejected for size — a lone job
+      always dispatches, and its grouped stages spill within the same
+      budget).
+
+      [config.obs] records per-session counters and a per-job ["exec"]
+      span track, flushed at {!shutdown}; engine-level spans inside
+      jobs are recorded only at concurrency 1 (the owner-domain trace
+      contract, DESIGN.md §9 — at higher concurrency jobs run with
+      tracing disabled and the session track tells the story). *)
+  val create : ?config:Config.t -> unit -> t
+
+  val concurrency : t -> int
+  val queue_capacity : t -> int
+
+  (** [submit t ~datasets plan] enqueues a job and returns its handle
+      immediately (the dispatcher may already be running it). Higher
+      [priority] dispatches first (default 0; ties in submission
+      order). [deadline_s] is a relative deadline in seconds from
+      submission; once expired the job's cancellation token reports
+      true and the job completes [Cancelled "deadline"] at the next
+      stage boundary (a deadline [<= 0] cancels it before its first
+      stage). [cluster] defaults to the config's [cluster] field, else
+      {!Mapreduce.Cluster.spark}.
+      @raise Overloaded when the admission queue is full.
+      @raise Invalid_argument on a shut-down session. *)
+  val submit :
+    ?priority:int ->
+    ?deadline_s:float ->
+    ?cluster:Mapreduce.Cluster.t ->
+    t ->
+    datasets:(string * Value.t list) list ->
+    Mapreduce.Plan.t ->
+    job
+
+  val job_id : job -> int
+
+  (** Queued, running, or finished with an {!outcome}? Never blocks. *)
+  val state : t -> job -> [ `Queued | `Running | `Done of outcome ]
+
+  (** Request cancellation: a queued job completes [Cancelled]
+      immediately; a running job's token flips and it stops at the next
+      stage boundary. Returns [false] when the job had already
+      finished (its outcome stands). *)
+  val cancel : t -> job -> bool
+
+  (** Block until the job finishes (helping execute queued work, so a
+      concurrency-1 session makes progress inside [await]). Returns the
+      outcome — never raises for job-level failures. *)
+  val await : t -> job -> outcome
+
+  (** Block until every admitted job has finished. *)
+  val drain : t -> unit
+
+  val stats : t -> stats
+
+  (** Refuse new submissions, {!drain}, flush the session's obs story
+      (an ["exec.session"] span carrying the {!stats} counters and one
+      completed span per job on the ["exec"] track), and release the
+      owned pool. Idempotent. *)
+  val shutdown : t -> unit
+
+  (** [create], run, {!shutdown} — also on exceptions. *)
+  val with_session : ?config:Config.t -> (t -> 'a) -> 'a
+end

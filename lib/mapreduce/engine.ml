@@ -19,9 +19,16 @@ module Par = Casper_par.Par
 
 exception Engine_error of string
 
+(** Raised when an execution's cooperative cancellation token
+    ({!Exec_config.t} [cancel]) reports true at a stage boundary. *)
+exception Cancelled
+
 let err fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
 
-type stage_metrics = {
+(* the stage-metrics record lives in Exec_config so the config surface
+   and the engine share one cache type; re-exported here so existing
+   [Engine.stage_metrics] consumers are untouched *)
+type stage_metrics = Exec_config.stage_metrics = {
   label : string;
   records_in : int;
   records_out : int;
@@ -30,9 +37,6 @@ type stage_metrics = {
   bytes_shuffled : int;
   is_shuffle : bool;
   shuffle_cap_bytes : int option;
-      (** for combiner-based reductions: the scale-invariant upper bound
-          on shuffled bytes — one combined record per key per partition,
-          which does *not* grow with the nominal record count *)
 }
 
 type run = {
@@ -56,58 +60,25 @@ let vdummy = Value.Int 0
 (* ------------------------------------------------------------------ *)
 (* Dataset cache plumbing                                               *)
 
-(** A materialized plan result held by the dataset cache: the output
-    partition plus everything a served run must report as if it had
-    recomputed (DESIGN.md §13). *)
-type cached_run = {
+type cached_run = Exec_config.cached_run = {
   c_batch : Batch.t;
   c_stages : stage_metrics list;
   c_input_records : int;
   c_input_bytes : int;
 }
 
-type cache = cached_run Cache.t
+type cache = Exec_config.cache
 
-let make_cache ?budget () : cache = Cache.create ?budget ()
-let cache_stats (c : cache) = Cache.stats c
+let make_cache = Exec_config.make_cache
+let cache_stats = Exec_config.cache_stats
 
-(* process default: CASPER_CACHE_BUDGET bytes (0, negative or unset =
-   no cache), overridable by the CLIs and scoped by tests *)
-let env_cache =
-  lazy
-    (match Sys.getenv_opt "CASPER_CACHE_BUDGET" with
-    | None -> None
-    | Some raw -> (
-        match int_of_string_opt (String.trim raw) with
-        | Some b when b > 0 -> Some (make_cache ~budget:b ())
-        | Some _ -> None (* 0 or negative: explicitly disabled *)
-        | None ->
-            ignore
-              (Obs.warn_once ~key:"cache-budget"
-                 (Printf.sprintf
-                    "CASPER_CACHE_BUDGET=%S is not an integer; cache disabled"
-                    raw)
-                : bool);
-            None))
-
-(* [None] = fall through to the environment *)
-let default_cache_override : cache option option ref = ref None
-
-let default_cache () =
-  match !default_cache_override with
-  | Some forced -> forced
-  | None -> Lazy.force env_cache
-
-let set_default_cache_budget = function
-  | None -> default_cache_override := None
-  | Some b when b > 0 ->
-      default_cache_override := Some (Some (make_cache ~budget:b ()))
-  | Some _ -> default_cache_override := Some None
-
-let with_default_cache c f =
-  let saved = !default_cache_override in
-  default_cache_override := Some c;
-  Fun.protect ~finally:(fun () -> default_cache_override := saved) f
+(* the CASPER_CACHE_BUDGET probe and the process default both live in
+   Exec_config now — memoized per override epoch and mutex-guarded, so
+   concurrent sessions can consult or scope the default safely; these
+   wrappers keep the historical call sites *)
+let default_cache = Exec_config.default_cache
+let set_default_cache_budget = Exec_config.set_default_cache_budget
+let with_default_cache = Exec_config.with_default_cache
 
 (* ------------------------------------------------------------------ *)
 (* Plan execution                                                       *)
@@ -126,8 +97,22 @@ type exec_ctx = {
   x_budget : int option;  (** resolved spill budget *)
   x_spill_fault : (unit -> bool) option;
   x_cache : cache option;  (** resolved cache, [None] = off *)
+  x_cache_explicit : bool;
+      (** the cache was supplied by the caller (argument or config),
+          not picked up as the process default *)
   x_cache_fault : (unit -> bool) option;
+  x_cancel : (unit -> bool) option;
+      (** cooperative cancellation token, polled at stage boundaries *)
 }
+
+(* cancellation is cooperative and stage-granular: the token is polled
+   at plan entry and before each stage, so a cancelled job stops at the
+   next boundary — after any in-flight grouped stage has already swept
+   its spill temp files via its own [Fun.protect] *)
+let check_cancel (ctx : exec_ctx) : unit =
+  match ctx.x_cancel with
+  | Some cancelled when cancelled () -> raise Cancelled
+  | _ -> ()
 
 (** Execute one plan over named datasets.
 
@@ -138,6 +123,7 @@ type exec_ctx = {
 let rec exec_plan (ctx : exec_ctx) ~(cluster : Cluster.t)
     ~(datasets : (string * Value.t list) list) (plan : Plan.t) : run =
   let obs = ctx.x_obs and pool = ctx.x_pool in
+  check_cancel ctx;
   Obs.span obs ~args:[ ("source", plan.Plan.source) ] "engine.run_plan"
   @@ fun () ->
   (* duplicate-name guard: one Hashtbl pass (the old List.mem_assoc scan
@@ -148,15 +134,22 @@ let rec exec_plan (ctx : exec_ctx) ~(cluster : Cluster.t)
       if Hashtbl.mem seen name then err "duplicate dataset name %s" name
       else Hashtbl.add seen name ())
     datasets;
-  (* The cache is consulted only on the owner domain — population from
-     one domain keeps jobs=1 behavior untouched and the fault draws
-     strictly sequential — and only for side-effect-free plans. The key
-     binds the resolved spill budget (ctx.x_budget, before any pressure
+  (* The process-default cache is consulted only on the owner domain —
+     population from one domain keeps jobs=1 behavior untouched and the
+     fault draws strictly sequential. An *explicitly supplied* cache is
+     consulted from worker domains too: session jobs execute inside
+     pool tasks, and their shared cache is the whole point (Cache ops
+     are mutex-guarded, and served outputs are byte-identical to
+     recomputation, so multi-domain population never changes results).
+     Either way only side-effect-free plans participate. The key binds
+     the resolved spill budget (ctx.x_budget, before any pressure
      adjustment below), so budgeted and in-memory executions of the
      same plan never share an entry. *)
   let cache_slot =
     match ctx.x_cache with
-    | Some c when (not (Par.on_worker ())) && Plan.cacheable plan ->
+    | Some c
+      when (ctx.x_cache_explicit || not (Par.on_worker ()))
+           && Plan.cacheable plan ->
         Some (c, Cache.key ~cluster ~budget:ctx.x_budget ~datasets plan)
     | _ -> None
   in
@@ -540,6 +533,7 @@ let rec exec_plan (ctx : exec_ctx) ~(cluster : Cluster.t)
   let output_batch, rev_stages =
     List.fold_left
       (fun (cur, ms) stage ->
+        check_cancel ctx;
         let out, m =
           Obs.span obs (Plan.stage_label stage) @@ fun () ->
           let out, m = exec cur stage in
@@ -580,11 +574,38 @@ let rec exec_plan (ctx : exec_ctx) ~(cluster : Cluster.t)
   { output = Batch.to_list output_batch; stages; input_records;
     input_bytes; sched }
 
-let run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget ?cache
+let run_plan ?config ?sched ?obs ?pool ?memory_budget ?cache
     ~(cluster : Cluster.t) ~(datasets : (string * Value.t list) list)
     (plan : Plan.t) : run =
-  let pool = match pool with Some p -> p | None -> Par.global () in
-  (* spill budget: an explicit argument wins ([<= 0] means unbounded,
+  (* precedence per knob: the legacy optional argument (deprecated — a
+     per-call override kept for one release), then the [config] field,
+     then the process default / environment, then the built-in *)
+  let cfg = match config with Some c -> c | None -> Exec_config.default in
+  let sched =
+    match sched with Some _ as s -> s | None -> cfg.Exec_config.sched
+  in
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> Option.value cfg.Exec_config.obs ~default:Obs.null
+  in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None -> (
+        match cfg.Exec_config.pool with
+        | Some p -> p
+        | None -> Par.global ())
+  in
+  let memory_budget =
+    match memory_budget with
+    | Some _ as b -> b
+    | None -> cfg.Exec_config.memory_budget
+  in
+  let cache =
+    match cache with Some _ as c -> c | None -> cfg.Exec_config.cache
+  in
+  (* spill budget: an explicit value wins ([<= 0] means unbounded,
      so callers can force the in-memory path whatever the environment
      says); otherwise the process default (CASPER_MEM_BUDGET) *)
   let budget =
@@ -616,6 +637,7 @@ let run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget ?cache
      bypassed entirely for instrumented runs, so enabled-[obs] traces
      and counters always describe a real execution and the golden
      traces are byte-identical whatever the environment says *)
+  let cache_explicit = Option.is_some cache in
   let cache =
     match cache with
     | Some c -> Some c
@@ -629,8 +651,10 @@ let run_plan ?sched ?(obs = Obs.null) ?pool ?memory_budget ?cache
       x_budget = budget;
       x_spill_fault = fault_draw 0x51f4 (fun fp -> fp.Sched.Faults.spill_fault_prob);
       x_cache = cache;
+      x_cache_explicit = cache_explicit;
       x_cache_fault =
         fault_draw 0x2ac8 (fun fp -> fp.Sched.Faults.cache_fault_prob);
+      x_cancel = cfg.Exec_config.cancel;
     }
     ~cluster ~datasets plan
 

@@ -10,8 +10,16 @@ module Value = Casper_common.Value
 
 exception Engine_error of string
 
-(** Volume accounting for one executed stage. *)
-type stage_metrics = {
+(** Raised when an execution's cooperative cancellation token
+    ({!Exec_config.t} [cancel]) reports true at a stage boundary — at
+    plan entry or between stages, never mid-stage, so grouped stages
+    have already swept their spill temp files when it propagates. *)
+exception Cancelled
+
+(** Volume accounting for one executed stage (defined in
+    {!Exec_config} so the config surface shares the cache type;
+    re-exported here unchanged). *)
+type stage_metrics = Exec_config.stage_metrics = {
   label : string;
   records_in : int;
   records_out : int;
@@ -39,11 +47,13 @@ type run = {
 
 (** A materialized plan result held by the dataset cache: output
     partition plus the metrics a served run reports as if recomputed. *)
-type cached_run
+type cached_run = Exec_config.cached_run
 
 (** A lineage-keyed dataset cache for engine runs ({!Cache}, DESIGN.md
-    §13). Because the type is transparent, the whole {!Cache} API —
-    [stats], [pin], [invalidate], [shrink_to], … — applies to it. *)
+    §13); the same type as {!Exec_config.cache}, so a cache built
+    either way can travel through a config record. Because the type is
+    transparent, the whole {!Cache} API — [stats], [pin], [invalidate],
+    [shrink_to], … — applies to it. *)
 type cache = cached_run Cache.t
 
 (** [make_cache ?budget ()] — a fresh cache; [budget] ≤ 0 or absent
@@ -54,19 +64,37 @@ val cache_stats : cache -> Cache.stats
 
 (** The process-default cache consulted when {!run_plan} gets no
     explicit [?cache]: built from [CASPER_CACHE_BUDGET] bytes (0,
-    negative or unset = no cache) unless overridden. *)
+    negative or unset = no cache) unless overridden. Delegates to
+    {!Exec_config.default_cache}: memoized per override epoch (the
+    environment is probed once per process) and mutex-guarded, so
+    concurrent sessions read it safely. *)
 val default_cache : unit -> cache option
 
 (** CLI override of the default: [Some b] with [b > 0] installs a fresh
     bounded cache, [Some b] with [b <= 0] disables the default cache,
-    [None] restores the environment behavior. *)
+    [None] restores the environment behavior. Delegates to
+    {!Exec_config.set_default_cache_budget}. *)
 val set_default_cache_budget : int option -> unit
 
 (** [with_default_cache c f] runs [f] with the process default forced
-    to [c] ([None] = no default cache), restoring on exit. *)
+    to [c] ([None] = no default cache), restoring on exit. Delegates to
+    {!Exec_config.with_default_cache}: reads and writes are serialized,
+    but the override is process-global while in scope. *)
 val with_default_cache : cache option -> (unit -> 'a) -> 'a
 
-(** Execute a plan over named in-memory datasets. Pass [?sched] to
+(** Execute a plan over named in-memory datasets.
+
+    [config] is the preferred way to pass every knob below in one
+    {!Exec_config.t} record (the surface sessions and CLIs build
+    once and reuse). The five standalone optional arguments are
+    {b deprecated aliases kept for one release}: when both are given,
+    the standalone argument wins as a per-call override of the config
+    field, and below that each knob falls through config → process
+    default / environment → built-in. [config] additionally carries the
+    cooperative [cancel] token (polled at stage boundaries; raises
+    {!Cancelled}), which has no standalone argument.
+
+    Pass [sched] to
     charge wall-clock from a task-level schedule (with fault injection
     and speculative execution) instead of the closed-form estimate.
     [obs] (default disabled) records an "engine.run_plan" span with one
@@ -97,7 +125,10 @@ val with_default_cache : cache option -> (unit -> 'a) -> 'a
     carries the real story. When absent, the process default applies
     ({!default_cache}, environment [CASPER_CACHE_BUDGET]) — except for
     instrumented (enabled-[obs]) runs, which bypass the default so
-    traces and counters always describe a real execution. Cached bytes
+    traces and counters always describe a real execution, and except on
+    worker domains, where only an explicitly supplied cache (argument
+    or config field) is consulted — which is how session jobs executing
+    inside pool tasks share their session cache. Cached bytes
     share the live-byte ledger with [memory_budget]: under pressure the
     engine evicts cache entries before letting grouped stages spill.
     When [sched]'s fault profile sets [cache_fault_prob], each hit may
@@ -106,8 +137,11 @@ val with_default_cache : cache option -> (unit -> 'a) -> 'a
     (DESIGN.md §13).
     @raise Engine_error on unknown or duplicate dataset names, shape
     errors, shuffles on a cluster with no worker slots, and spill I/O
-    failures. *)
+    failures.
+    @raise Cancelled when [config]'s cancellation token reports true at
+    a stage boundary. *)
 val run_plan :
+  ?config:Exec_config.t ->
   ?sched:Sched.Coordinator.config ->
   ?obs:Casper_obs.Obs.ctx ->
   ?pool:Casper_par.Par.pool ->

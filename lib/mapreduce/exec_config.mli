@@ -1,0 +1,157 @@
+(** One execution-configuration surface for the engine and the session
+    layer ([Exec.Config] re-exports this module).
+
+    Historically every knob travelled on its own channel: five optional
+    arguments on {!Engine.run_plan}, plus three independently probed
+    [CASPER_*] environment variables. This module gathers them into a
+    single record with one documented precedence order
+
+    {v explicit field > CLI flag > CASPER_* environment > built-in v}
+
+    (a CLI flag is just an explicit field the binary filled in; the
+    environment enters only through {!of_env} and the process
+    defaults), and centralizes all [CASPER_*] probing:
+
+    - [CASPER_JOBS] — default pool parallelism (see
+      {!Casper_par.Par.env_jobs});
+    - [CASPER_MEM_BUDGET] — default spill budget, bytes;
+    - [CASPER_CACHE_BUDGET] — default lineage-cache budget, bytes;
+    - [CASPER_EXEC_CONCURRENCY] — default session concurrency;
+    - [CASPER_EXEC_QUEUE] — default session admission-queue capacity.
+
+    The process defaults ([default_mem_budget], [default_cache]) are
+    memoized — one [getenv] + parse per process, re-read only when an
+    override installs a new epoch — and every read or write goes
+    through one internal mutex, so concurrent sessions can consult (or
+    scope) them without torn state. *)
+
+module Value = Casper_common.Value
+module Obs = Casper_obs.Obs
+module Par = Casper_par.Par
+
+(* ------------------------------------------------------------------ *)
+(* Types shared with the engine                                        *)
+
+(** Volume accounting for one executed stage (re-exported as
+    {!Engine.stage_metrics}). *)
+type stage_metrics = {
+  label : string;
+  records_in : int;
+  records_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  bytes_shuffled : int;  (** bytes crossing the network at sample scale *)
+  is_shuffle : bool;
+  shuffle_cap_bytes : int option;
+      (** for combiner-based reductions: the scale-invariant upper bound
+          on shuffled bytes — one combined record per key per partition,
+          which does not grow with the nominal record count *)
+}
+
+(** A materialized plan result held by the dataset cache: the output
+    partition plus everything a served run must report as if it had
+    recomputed (DESIGN.md §13). Constructed by the engine only; exposed
+    so {!Engine.cache} and the config [cache] field share one type. *)
+type cached_run = {
+  c_batch : Batch.t;
+  c_stages : stage_metrics list;
+  c_input_records : int;
+  c_input_bytes : int;
+}
+
+(** A lineage-keyed dataset cache for engine runs ({!Cache}). *)
+type cache = cached_run Cache.t
+
+(** [make_cache ?budget ()] — a fresh cache; [budget] ≤ 0 or absent
+    means unbounded. *)
+val make_cache : ?budget:int -> unit -> cache
+
+val cache_stats : cache -> Cache.stats
+
+(* ------------------------------------------------------------------ *)
+(* Centralized CASPER_* environment probing                            *)
+
+(** [CASPER_MEM_BUDGET] as a spill budget: [Some b] when set to a
+    positive integer, [None] otherwise (0 or negative = explicitly
+    unbounded; garbage warns once). Memoized per process. *)
+val env_mem_budget : unit -> int option
+
+(** [CASPER_CACHE_BUDGET] as a cache budget: [Some b] when positive,
+    [None] otherwise. Memoized per process. *)
+val env_cache_budget : unit -> int option
+
+(** [CASPER_EXEC_CONCURRENCY]: session concurrency when set to a
+    positive integer, else 1. Probed live (cold path). *)
+val env_exec_concurrency : unit -> int
+
+(** [CASPER_EXEC_QUEUE]: session admission-queue capacity when set to a
+    positive integer, else 64. Probed live (cold path). *)
+val env_exec_queue : unit -> int
+
+(* ------------------------------------------------------------------ *)
+(* Process defaults (mutex-guarded, memoized per override epoch)       *)
+
+(** The process-default spill budget: the last
+    {!with_default_mem_budget} override in scope, else the memoized
+    [CASPER_MEM_BUDGET]. {!Spill.default_budget} delegates here. *)
+val default_mem_budget : unit -> int option
+
+(** Scope an override of {!default_mem_budget} ([None] = unbounded),
+    restoring on exit. Reads and writes are serialized by the internal
+    mutex, so concurrent sessions never observe torn state — but the
+    override itself is process-global and visible to every domain while
+    in scope. *)
+val with_default_mem_budget : int option -> (unit -> 'a) -> 'a
+
+(** The process-default cache: the cache installed by the last
+    {!set_default_cache_budget} / {!with_default_cache}, else one built
+    from the memoized [CASPER_CACHE_BUDGET] (0, negative or unset = no
+    cache). Every call in one epoch returns the physically same cache —
+    the environment is not re-read. *)
+val default_cache : unit -> cache option
+
+(** CLI override of the default: [Some b] with [b > 0] installs a fresh
+    bounded cache (a new epoch), [Some b] with [b <= 0] disables the
+    default cache, [None] restores the environment behavior. *)
+val set_default_cache_budget : int option -> unit
+
+(** [with_default_cache c f] runs [f] with the process default forced
+    to [c] ([None] = no default cache), restoring on exit. Same
+    concurrency caveat as {!with_default_mem_budget}. *)
+val with_default_cache : cache option -> (unit -> 'a) -> 'a
+
+(* ------------------------------------------------------------------ *)
+(* The configuration record                                            *)
+
+(** Everything an execution may want decided for it. Every field is
+    optional; [None] means "fall through" to the next precedence level
+    (the process default / environment, then the built-in). *)
+type t = {
+  sched : Sched.Coordinator.config option;
+      (** task-level scheduling + fault profile *)
+  obs : Obs.ctx option;  (** observability context *)
+  pool : Par.pool option;  (** domain pool (default {!Par.global}) *)
+  memory_budget : int option;
+      (** spill budget in bytes; [Some b <= 0] forces in-memory *)
+  cache : cache option;  (** lineage cache; explicit = always live *)
+  cluster : Cluster.t option;
+      (** default backend for session jobs submitted without one *)
+  concurrency : int option;
+      (** session job-slot count (default [CASPER_EXEC_CONCURRENCY]) *)
+  queue_capacity : int option;
+      (** session admission-queue bound (default [CASPER_EXEC_QUEUE]) *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation token, polled at stage boundaries;
+          returning [true] makes the engine raise [Engine.Cancelled] *)
+}
+
+(** All fields [None]: every knob falls through to the process default,
+    then the built-in. *)
+val default : t
+
+(** A config with the [CASPER_*] environment captured as explicit
+    fields: [memory_budget] / [cache] from the memoized probes,
+    [concurrency] / [queue_capacity] probed live. [sched], [obs],
+    [pool], [cluster] and [cancel] have no environment channel and stay
+    [None]. *)
+val of_env : unit -> t

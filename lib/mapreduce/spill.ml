@@ -10,35 +10,11 @@ let err fmt = Fmt.kstr (fun s -> raise (Spill_error s)) fmt
 (* ------------------------------------------------------------------ *)
 (* Process-wide configuration                                          *)
 
-let env_budget =
-  lazy
-    (match Sys.getenv_opt "CASPER_MEM_BUDGET" with
-    | None -> None
-    | Some raw -> (
-        match int_of_string_opt (String.trim raw) with
-        | Some b when b > 0 -> Some b
-        | Some _ -> None (* 0 or negative: explicitly unbounded *)
-        | None ->
-            ignore
-              (Obs.warn_once ~key:"mem-budget"
-                 (Printf.sprintf
-                    "CASPER_MEM_BUDGET=%S is not an integer; running unbounded"
-                    raw)
-                : bool);
-            None))
-
-(* [None] = fall through to the environment *)
-let default_override : int option option ref = ref None
-
-let default_budget () =
-  match !default_override with
-  | Some forced -> forced
-  | None -> Lazy.force env_budget
-
-let with_default_budget b f =
-  let saved = !default_override in
-  default_override := Some b;
-  Fun.protect ~finally:(fun () -> default_override := saved) f
+(* the CASPER_MEM_BUDGET probe and the scoped override both live in
+   Exec_config now (one centralized, mutex-guarded channel for every
+   CASPER_* knob); these wrappers keep the historical call sites *)
+let default_budget () = Exec_config.default_mem_budget ()
+let with_default_budget b f = Exec_config.with_default_mem_budget b f
 
 let base = ref None
 

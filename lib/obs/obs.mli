@@ -40,13 +40,16 @@ val domain_span :
   ctx -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
 (** Record an already-completed span with explicit timestamps, e.g. when
-    folding the scheduler's simulation-time event trace into the tree.
-    [track] (default ["sched"]) separates its timeline from the wall
-    clock's. *)
+    folding the scheduler's simulation-time event trace — or a
+    session's per-job track — into the tree. [track] (default
+    ["sched"]) separates its timeline from the wall clock's;
+    [counters] attaches pre-aggregated counters to the span (span-local
+    only — the flat per-run totals are not bumped). *)
 val span_at :
   ctx ->
   ?track:string ->
   ?args:(string * string) list ->
+  ?counters:(string * int) list ->
   t0:float ->
   t1:float ->
   string ->

@@ -71,6 +71,7 @@ type pool = {
   mutable shut : bool;
   mutable domains : unit Domain.t list;
   sub : Mutex.t;  (** serializes top-level batches on this pool *)
+  rr : int Atomic.t;  (** round-robin deque index for {!async} tasks *)
 }
 
 (* set while this domain is executing a pool task: nested combinator
@@ -143,6 +144,7 @@ let create ~jobs : pool =
       shut = false;
       domains = [];
       sub = Mutex.create ();
+      rr = Atomic.make 0;
     }
   in
   p.domains <-
@@ -293,6 +295,78 @@ let filter ?(chunks_per_job = 2) (p : pool) (f : 'a -> bool) (xs : 'a list) :
     'a list =
   if inline_pool p then List.filter f xs
   else List.concat (chunked p ~chunks_per_job (List.filter f) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Futures: individual tasks dispatched without a batch barrier. The
+   session dispatcher (lib/exec) needs fire-and-forget submission — a
+   job is one coarse task whose completion is signalled through its own
+   future, not through the pool-wide [done_cv] barrier that [run_batch]
+   uses. Async tasks and batch tasks share the deques and the [pending]
+   counter, so workers (and helping owners) drain both kinds. *)
+
+type 'a future = {
+  fm : Mutex.t;
+  fcv : Condition.t;
+  mutable fstate : ('a, exn) result option;  (** [None] while pending *)
+}
+
+let async (p : pool) (f : unit -> 'a) : 'a future =
+  if p.shut then invalid_arg "Par: pool is shut down";
+  let fut = { fm = Mutex.create (); fcv = Condition.create (); fstate = None } in
+  let t () =
+    let r = try Ok (f ()) with e -> Error e in
+    Mutex.lock fut.fm;
+    fut.fstate <- Some r;
+    Condition.broadcast fut.fcv;
+    Mutex.unlock fut.fm
+  in
+  (* round-robin placement spreads independent tasks across deques so a
+     burst of async submissions doesn't pile onto one worker *)
+  let slot = Atomic.fetch_and_add p.rr 1 mod p.jobs in
+  deque_push p.deques.(slot) t;
+  Atomic.incr p.pending;
+  Mutex.lock p.lock;
+  Condition.broadcast p.work_cv;
+  Mutex.unlock p.lock;
+  fut
+
+let peek (fut : 'a future) : ('a, exn) result option =
+  Mutex.protect fut.fm (fun () -> fut.fstate)
+
+let is_done (fut : 'a future) : bool = Option.is_some (peek fut)
+
+(** Execute at most one queued task on the calling domain. *)
+let help (p : pool) : bool =
+  match take p 0 with
+  | Some t ->
+      exec_task t;
+      true
+  | None -> false
+
+let await (p : pool) (fut : 'a future) : 'a =
+  (* the calling domain helps drain the pool while the future is
+     pending, so a jobs=1 pool (no workers) still completes async
+     work; when nothing is takeable some other domain is running the
+     task and will broadcast [fcv] *)
+  let rec loop () =
+    Mutex.lock fut.fm;
+    match fut.fstate with
+    | Some r ->
+        Mutex.unlock fut.fm;
+        r
+    | None ->
+        Mutex.unlock fut.fm;
+        if help p then loop ()
+        else begin
+          Mutex.lock fut.fm;
+          (match fut.fstate with
+          | None -> Condition.wait fut.fcv fut.fm
+          | Some _ -> ());
+          Mutex.unlock fut.fm;
+          loop ()
+        end
+  in
+  match loop () with Ok v -> v | Error e -> raise e
 
 (* ------------------------------------------------------------------ *)
 (* Task granularity for array-backed stages                            *)

@@ -65,6 +65,39 @@ val filter : ?chunks_per_job:int -> pool -> ('a -> bool) -> 'a list -> 'a list
 val chunks : int -> 'a list -> 'a list list
 
 (* ------------------------------------------------------------------ *)
+(* Futures: individual tasks without a batch barrier — the session
+   dispatcher's submission primitive (lib/exec).                       *)
+
+(** The pending/completed state of one {!async} task. *)
+type 'a future
+
+(** [async pool f] enqueues [f] as a single task (round-robin across
+    the pool's deques) and returns immediately. The task runs on
+    whichever domain dequeues it first — a worker, or any domain
+    helping via {!help} / {!await}. Exceptions are captured in the
+    future and re-raised by {!await}. Raises [Invalid_argument] on a
+    shut-down pool. *)
+val async : pool -> (unit -> 'a) -> 'a future
+
+(** [await pool fut] blocks until [fut] completes, re-raising its
+    captured exception. While waiting the calling domain helps execute
+    queued tasks, so a [jobs = 1] pool still completes async work —
+    which also means [await] may run unrelated queued tasks inline.
+    Call from the pool's submitting side, not from inside a task that
+    the awaited future transitively depends on. A future whose task is
+    still queued when the pool shuts down never completes: drain
+    futures before {!shutdown}. *)
+val await : pool -> 'a future -> 'a
+
+(** Completed (successfully or not)? Never blocks. *)
+val is_done : 'a future -> bool
+
+(** Execute at most one queued task on the calling domain; [true] if
+    one ran. The waiting primitive for dispatchers that track
+    completion through their own condition variables. *)
+val help : pool -> bool
+
+(* ------------------------------------------------------------------ *)
 (* Task granularity for array-backed stages (engine data plane).       *)
 
 (** Target records per parallel task for array-backed stages. Tasks

@@ -1,0 +1,552 @@
+(** Tests for execution sessions and the unified config surface: the
+    session determinism matrix (concurrency × jobs × cache vs a solo
+    run), admission backpressure, ledger gating, cooperative
+    cancellation (no ledger-byte or temp-file leak), deadlines,
+    priority dispatch order, the memoized default cache, config
+    precedence, and the session's obs story. *)
+
+module Plan = Mapreduce.Plan
+module Engine = Mapreduce.Engine
+module Cache = Mapreduce.Cache
+module Cluster = Mapreduce.Cluster
+module Spill = Mapreduce.Spill
+module Value = Casper_common.Value
+module Par = Casper_par.Par
+module Obs = Casper_obs.Obs
+module Exec = Casper_exec.Exec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let vint n = Value.Int n
+let ints l = List.map vint l
+let kv k v = Value.Tuple [ k; v ]
+let add_i a b = vint (Value.as_int a + Value.as_int b)
+
+let wc_plan =
+  Plan.(
+    data "w" |>> map_to_pair (fun w -> (w, vint 1)) |>> reduce_by_key add_i)
+
+let wc_words n =
+  let rng = Casper_common.Rng.create 9 in
+  Value.as_list (Casper_suites.Workload.words rng ~n ~vocab:60 ~skew:1.0)
+
+let join_plan =
+  Plan.(data "d" |>> join_with Plan.(data "e" |>> reduce_by_key add_i))
+
+let join_datasets =
+  [
+    ("d", List.init 30 (fun i -> kv (vint (i mod 7)) (vint (i * 3))));
+    ("e", List.init 12 (fun i -> kv (vint (i mod 7)) (vint i)));
+  ]
+
+(* A gate a plan stage blocks on, so tests can hold a job mid-run on a
+   pool worker while the test domain keeps submitting. *)
+type gate = {
+  g : Mutex.t;
+  gcv : Condition.t;
+  mutable started : bool;
+  mutable release : bool;
+}
+
+let mk_gate () =
+  { g = Mutex.create (); gcv = Condition.create ();
+    started = false; release = false }
+
+let gate_observe gate _ =
+  Mutex.lock gate.g;
+  gate.started <- true;
+  Condition.broadcast gate.gcv;
+  while not gate.release do
+    Condition.wait gate.gcv gate.g
+  done;
+  Mutex.unlock gate.g
+
+let wait_started gate =
+  Mutex.lock gate.g;
+  while not gate.started do
+    Condition.wait gate.gcv gate.g
+  done;
+  Mutex.unlock gate.g
+
+let open_gate gate =
+  Mutex.lock gate.g;
+  gate.release <- true;
+  Condition.broadcast gate.gcv;
+  Mutex.unlock gate.g
+
+let gated_plan gate =
+  Plan.(
+    data "d"
+    |>> Plan.Sample_monitor
+          { label = "gate"; k = 1; observe = gate_observe gate }
+    |>> map Fun.id)
+
+let completed = function
+  | Exec.Session.Completed r -> r
+  | Exec.Session.Cancelled r -> Alcotest.fail ("unexpected Cancelled " ^ r)
+  | Exec.Session.Failed m -> Alcotest.fail ("unexpected Failed " ^ m)
+
+(* ---------------- the determinism matrix ---------------- *)
+
+(* concurrency {1,4} × job copies {1,2} × cache {off,on}: every job's
+   output AND stage accounting must be byte-identical to a solo
+   Engine.run_plan of the same plan — concurrency moves wall-clock,
+   never results. With the cache on, later copies are served from
+   entries the first copies populated (on worker domains: the
+   explicit-cache rule), so the serving path is exercised too. *)
+let test_session_determinism () =
+  Engine.with_default_cache None @@ fun () ->
+  Spill.with_default_budget None @@ fun () ->
+  let specs =
+    [ (wc_plan, [ ("w", wc_words 200) ]); (join_plan, join_datasets) ]
+  in
+  let solo =
+    List.map
+      (fun (plan, datasets) ->
+        Engine.run_plan ~cluster:Cluster.spark ~datasets plan)
+      specs
+  in
+  List.iter
+    (fun conc ->
+      List.iter
+        (fun copies ->
+          List.iter
+            (fun with_cache ->
+              let config =
+                {
+                  Exec.Config.default with
+                  Exec.Config.concurrency = Some conc;
+                  cache =
+                    (if with_cache then Some (Engine.make_cache ()) else None);
+                }
+              in
+              Exec.Session.with_session ~config @@ fun s ->
+              let subs =
+                List.concat
+                  (List.mapi
+                     (fun i (plan, datasets) ->
+                       List.init copies (fun _ ->
+                           (i, Exec.Session.submit s ~datasets plan)))
+                     specs)
+              in
+              List.iter
+                (fun (i, job) ->
+                  let r = completed (Exec.Session.await s job) in
+                  let b = List.nth solo i in
+                  check
+                    (Printf.sprintf
+                       "output identical (conc=%d copies=%d cache=%b)" conc
+                       copies with_cache)
+                    true
+                    (r.Engine.output = b.Engine.output);
+                  check
+                    (Printf.sprintf
+                       "stages identical (conc=%d copies=%d cache=%b)" conc
+                       copies with_cache)
+                    true
+                    (r.Engine.stages = b.Engine.stages))
+                subs;
+              let st = Exec.Session.stats s in
+              check_int "all jobs completed" (List.length subs)
+                st.Exec.Session.jobs_completed;
+              check_int "nothing rejected" 0 st.Exec.Session.jobs_rejected;
+              check_int "ledger drained" 0 st.Exec.Session.ledger_bytes)
+            [ false; true ])
+        [ 1; 2 ])
+    [ 1; 4 ]
+
+(* ---------------- admission control ---------------- *)
+
+let test_backpressure () =
+  Engine.with_default_cache None @@ fun () ->
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let gate = mk_gate () in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.pool = Some pool;
+      concurrency = Some 1;
+      queue_capacity = Some 1;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  check_int "concurrency resolved" 1 (Exec.Session.concurrency s);
+  check_int "capacity resolved" 1 (Exec.Session.queue_capacity s);
+  let datasets = [ ("d", ints [ 1; 2; 3 ]) ] in
+  let j1 = Exec.Session.submit s ~datasets (gated_plan gate) in
+  wait_started gate;
+  (* the slot is held: the next job queues, the one after is shed *)
+  let j2 = Exec.Session.submit s ~datasets Plan.(data "d" |>> map Fun.id) in
+  (match Exec.Session.submit s ~datasets (Plan.data "d") with
+  | exception Exec.Session.Overloaded -> ()
+  | _ -> Alcotest.fail "expected Overloaded at queue capacity");
+  let st = Exec.Session.stats s in
+  check_int "rejection counted" 1 st.Exec.Session.jobs_rejected;
+  check_int "one queued" 1 st.Exec.Session.queued;
+  check_int "one running" 1 st.Exec.Session.running;
+  check_int "queue high water" 1 st.Exec.Session.queue_high_water;
+  check "queued job reports `Queued" true (Exec.Session.state s j2 = `Queued);
+  open_gate gate;
+  ignore (completed (Exec.Session.await s j1) : Engine.run);
+  ignore (completed (Exec.Session.await s j2) : Engine.run);
+  let st = Exec.Session.stats s in
+  check_int "both completed" 2 st.Exec.Session.jobs_completed;
+  check_int "admitted counts exclude rejections" 2
+    st.Exec.Session.jobs_admitted
+
+(* the ledger gates dispatch: with a budget smaller than two inputs a
+   free slot stays idle until the running job releases its bytes — but
+   a lone job always dispatches, however big *)
+let test_ledger_admission () =
+  Engine.with_default_cache None @@ fun () ->
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let gate = mk_gate () in
+  let datasets = [ ("d", ints (List.init 50 Fun.id)) ] in
+  let bytes = Value.size_of_list (List.assoc "d" datasets) in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.pool = Some pool;
+      concurrency = Some 2;
+      memory_budget = Some 8;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  let j1 = Exec.Session.submit s ~datasets (gated_plan gate) in
+  wait_started gate;
+  let j2 = Exec.Session.submit s ~datasets (gated_plan gate) in
+  let st = Exec.Session.stats s in
+  check_int "free slot idles under ledger pressure" 1
+    st.Exec.Session.running;
+  check_int "second job waits" 1 st.Exec.Session.queued;
+  check_int "ledger charged" bytes st.Exec.Session.ledger_bytes;
+  open_gate gate;
+  ignore (completed (Exec.Session.await s j1) : Engine.run);
+  ignore (completed (Exec.Session.await s j2) : Engine.run);
+  let st = Exec.Session.stats s in
+  check_int "never two in flight" bytes st.Exec.Session.ledger_high_water;
+  check_int "ledger drained" 0 st.Exec.Session.ledger_bytes
+
+(* ---------------- cancellation ---------------- *)
+
+(* cancel mid-plan: the job settles Cancelled "cancelled" at the next
+   stage boundary, its ledger bytes are released, and no spill temp
+   file survives (the grouped stage that ran under the tiny budget
+   swept its own files) *)
+let test_cancel_releases_ledger_and_files () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "casper-exec-test-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o700;
+  let saved = Spill.base_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.set_base_dir saved;
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  Spill.set_base_dir dir;
+  Engine.with_default_cache None @@ fun () ->
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let gate = mk_gate () in
+  let plan =
+    Plan.(
+      data "d"
+      |>> map_to_pair (fun x -> (vint (Value.as_int x mod 5), x))
+      |>> reduce_by_key add_i
+      |>> Plan.Sample_monitor
+            { label = "gate"; k = 1; observe = gate_observe gate }
+      |>> map Fun.id)
+  in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.pool = Some pool;
+      concurrency = Some 1;
+      memory_budget = Some 64;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  let datasets = [ ("d", ints (List.init 200 Fun.id)) ] in
+  let j = Exec.Session.submit s ~datasets plan in
+  wait_started gate;
+  check "ledger charged while running" true
+    ((Exec.Session.stats s).Exec.Session.ledger_bytes > 0);
+  check "cancel accepted on a running job" true (Exec.Session.cancel s j);
+  open_gate gate;
+  (match Exec.Session.await s j with
+  | Exec.Session.Cancelled r -> check_str "explicit cancellation" "cancelled" r
+  | Exec.Session.Completed _ -> Alcotest.fail "job ignored its cancel token"
+  | Exec.Session.Failed m -> Alcotest.fail ("Failed instead of Cancelled: " ^ m));
+  let st = Exec.Session.stats s in
+  check_int "ledger bytes released" 0 st.Exec.Session.ledger_bytes;
+  check_int "cancellation counted" 1 st.Exec.Session.jobs_cancelled;
+  check "cancel after the fact is refused" true
+    (not (Exec.Session.cancel s j));
+  check_int "no spill temp file leaked" 0 (Array.length (Sys.readdir dir))
+
+(* an already-expired deadline reports Cancelled "deadline" — not
+   Failed — before the first stage runs *)
+let test_deadline_reports_cancelled () =
+  Engine.with_default_cache None @@ fun () ->
+  let config =
+    { Exec.Config.default with Exec.Config.concurrency = Some 1 }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  let j =
+    Exec.Session.submit s ~deadline_s:(-1.0)
+      ~datasets:[ ("d", ints [ 1; 2; 3 ]) ]
+      Plan.(data "d" |>> map Fun.id)
+  in
+  match Exec.Session.await s j with
+  | Exec.Session.Cancelled r -> check_str "deadline reported" "deadline" r
+  | Exec.Session.Completed _ -> Alcotest.fail "expired deadline ran anyway"
+  | Exec.Session.Failed m ->
+      Alcotest.fail ("deadline surfaced as Failed: " ^ m)
+
+(* a queued job cancels immediately, without ever dispatching *)
+let test_cancel_queued () =
+  Engine.with_default_cache None @@ fun () ->
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let gate = mk_gate () in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.pool = Some pool;
+      concurrency = Some 1;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  let datasets = [ ("d", ints [ 1; 2; 3 ]) ] in
+  let j1 = Exec.Session.submit s ~datasets (gated_plan gate) in
+  wait_started gate;
+  let fired = ref false in
+  let j2 =
+    Exec.Session.submit s ~datasets
+      Plan.(
+        data "d"
+        |>> Plan.Sample_monitor
+              { label = "probe"; k = 1; observe = (fun _ -> fired := true) })
+  in
+  check "queued cancel accepted" true (Exec.Session.cancel s j2);
+  open_gate gate;
+  ignore (completed (Exec.Session.await s j1) : Engine.run);
+  (match Exec.Session.await s j2 with
+  | Exec.Session.Cancelled r -> check_str "queued cancellation" "cancelled" r
+  | _ -> Alcotest.fail "queued job was not cancelled");
+  check "cancelled job never ran" true (not !fired)
+
+(* ---------------- priorities ---------------- *)
+
+let test_priority_order () =
+  Engine.with_default_cache None @@ fun () ->
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let gate = mk_gate () in
+  let order = ref [] in
+  let om = Mutex.create () in
+  let tagged tag =
+    Plan.(
+      data "d"
+      |>> Plan.Sample_monitor
+            {
+              label = tag;
+              k = 1;
+              observe =
+                (fun _ ->
+                  Mutex.protect om (fun () -> order := tag :: !order));
+            }
+      |>> map Fun.id)
+  in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.pool = Some pool;
+      concurrency = Some 1;
+    }
+  in
+  Exec.Session.with_session ~config @@ fun s ->
+  let datasets = [ ("d", ints [ 1; 2; 3 ]) ] in
+  let j1 = Exec.Session.submit s ~datasets (gated_plan gate) in
+  wait_started gate;
+  (* queued while the gate job holds the only slot: dispatch must be by
+     priority, submission order within a level *)
+  ignore (Exec.Session.submit s ~priority:0 ~datasets (tagged "p0a"));
+  ignore (Exec.Session.submit s ~priority:5 ~datasets (tagged "p5"));
+  ignore (Exec.Session.submit s ~priority:1 ~datasets (tagged "p1"));
+  ignore (Exec.Session.submit s ~priority:0 ~datasets (tagged "p0b"));
+  open_gate gate;
+  ignore (completed (Exec.Session.await s j1) : Engine.run);
+  Exec.Session.drain s;
+  check "priority dispatch order" true
+    (List.rev !order = [ "p5"; "p1"; "p0a"; "p0b" ])
+
+(* ---------------- the memoized default cache ---------------- *)
+
+(* the fix this PR pins: Engine.default_cache must not re-probe the
+   environment per call — the probe is memoized, so a mid-run putenv is
+   invisible, and within one set_default_cache_budget epoch every call
+   returns the same cache instance *)
+let test_default_cache_memoized () =
+  Fun.protect ~finally:(fun () -> Engine.set_default_cache_budget None)
+  @@ fun () ->
+  Engine.set_default_cache_budget None;
+  let c1 = Engine.default_cache () in
+  Unix.putenv "CASPER_CACHE_BUDGET" "4096";
+  let c2 = Engine.default_cache () in
+  (match (c1, c2) with
+  | None, None -> ()
+  | Some a, Some b ->
+      check "same env epoch, same instance" true (a == b)
+  | _ -> Alcotest.fail "putenv after the first probe moved the default");
+  Engine.set_default_cache_budget (Some 2048);
+  let instance () =
+    match Engine.default_cache () with
+    | Some c -> c
+    | None -> Alcotest.fail "expected a default cache"
+  in
+  let c3 = instance () in
+  check "override budget installed" true (Cache.budget c3 = Some 2048);
+  check "epoch memoized: physically equal across calls" true
+    (c3 == instance ());
+  Engine.set_default_cache_budget (Some 2048);
+  check "a new override is a new epoch (fresh cache)" true
+    (not (instance () == c3))
+
+(* ---------------- config precedence ---------------- *)
+
+(* a legacy standalone argument overrides the config field for one
+   release; absent the legacy argument the config field applies *)
+let test_legacy_args_override_config () =
+  Engine.with_default_cache None @@ fun () ->
+  Spill.with_default_budget None @@ fun () ->
+  let datasets = [ ("w", wc_words 120) ] in
+  let obs_cfg = Obs.create () in
+  let obs_arg = Obs.create () in
+  let config =
+    { Exec.Config.default with Exec.Config.obs = Some obs_cfg }
+  in
+  ignore
+    (Engine.run_plan ~config ~obs:obs_arg ~cluster:Cluster.spark ~datasets
+       wc_plan
+      : Engine.run);
+  check "legacy obs captured the run" true (Obs.tree obs_arg <> []);
+  check "config obs was overridden" true (Obs.tree obs_cfg = []);
+  ignore
+    (Engine.run_plan ~config ~cluster:Cluster.spark ~datasets wc_plan
+      : Engine.run);
+  check "config obs applies without the legacy argument" true
+    (Obs.tree obs_cfg <> [])
+
+let test_of_env () =
+  let cfg = Exec.Config.of_env () in
+  let expect name default =
+    match Sys.getenv_opt name with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> default)
+    | None -> default
+  in
+  check "concurrency from CASPER_EXEC_CONCURRENCY" true
+    (cfg.Exec.Config.concurrency = Some (expect "CASPER_EXEC_CONCURRENCY" 1));
+  check "queue capacity from CASPER_EXEC_QUEUE" true
+    (cfg.Exec.Config.queue_capacity = Some (expect "CASPER_EXEC_QUEUE" 64));
+  check "memory budget matches the memoized spill default" true
+    (cfg.Exec.Config.memory_budget = Spill.default_budget ());
+  (* a session built from of_env resolves the same knobs *)
+  Exec.Session.with_session ~config:cfg @@ fun s ->
+  check_int "session concurrency" (expect "CASPER_EXEC_CONCURRENCY" 1)
+    (Exec.Session.concurrency s);
+  check_int "session queue capacity" (expect "CASPER_EXEC_QUEUE" 64)
+    (Exec.Session.queue_capacity s)
+
+(* ---------------- the session's obs story ---------------- *)
+
+let test_session_obs () =
+  Engine.with_default_cache None @@ fun () ->
+  Spill.with_default_budget None @@ fun () ->
+  let obs = Obs.create () in
+  let config =
+    {
+      Exec.Config.default with
+      Exec.Config.obs = Some obs;
+      concurrency = Some 1;
+    }
+  in
+  let datasets = [ ("w", wc_words 120) ] in
+  Exec.Session.with_session ~config (fun s ->
+      ignore
+        (completed
+           (Exec.Session.await s (Exec.Session.submit s ~datasets wc_plan))
+          : Engine.run);
+      ignore
+        (completed
+           (Exec.Session.await s (Exec.Session.submit s ~datasets wc_plan))
+          : Engine.run));
+  check "well formed" true (Obs.well_formed obs);
+  let roots = Obs.tree obs in
+  let sess =
+    match List.find_opt (fun v -> v.Obs.v_name = "exec.session") roots with
+    | Some v -> v
+    | None -> Alcotest.fail "no exec.session span flushed at shutdown"
+  in
+  check "session span carries the admission counters" true
+    (List.mem_assoc "jobs_admitted" sess.Obs.v_counters
+    && List.mem_assoc "jobs_completed" sess.Obs.v_counters);
+  check_int "jobs_completed counter" 2 (Obs.total obs "jobs_completed");
+  let job_spans =
+    List.filter (fun v -> v.Obs.v_track = "exec") (sess.Obs.v_children @ roots)
+  in
+  check_int "one exec-track span per job" 2 (List.length job_spans);
+  check "job spans record the outcome" true
+    (List.for_all
+       (fun v -> List.assoc_opt "outcome" v.Obs.v_args = Some "completed")
+       job_spans);
+  (* concurrency 1: engine-level spans are recorded too *)
+  check "engine spans present at concurrency 1" true
+    (List.exists (fun v -> v.Obs.v_name = "engine.run_plan") roots)
+
+let suite =
+  [
+    ( "exec.session",
+      [
+        Alcotest.test_case "determinism matrix vs solo run" `Quick
+          test_session_determinism;
+        Alcotest.test_case "backpressure at queue capacity" `Quick
+          test_backpressure;
+        Alcotest.test_case "ledger gates dispatch" `Quick
+          test_ledger_admission;
+        Alcotest.test_case "priority dispatch order" `Quick
+          test_priority_order;
+      ] );
+    ( "exec.cancel",
+      [
+        Alcotest.test_case "cancel releases ledger and temp files" `Quick
+          test_cancel_releases_ledger_and_files;
+        Alcotest.test_case "expired deadline reports Cancelled" `Quick
+          test_deadline_reports_cancelled;
+        Alcotest.test_case "queued job cancels without running" `Quick
+          test_cancel_queued;
+      ] );
+    ( "exec.config",
+      [
+        Alcotest.test_case "default cache is memoized per epoch" `Quick
+          test_default_cache_memoized;
+        Alcotest.test_case "legacy arguments override config fields" `Quick
+          test_legacy_args_override_config;
+        Alcotest.test_case "of_env resolves the CASPER_* knobs" `Quick
+          test_of_env;
+      ] );
+    ( "exec.obs",
+      [
+        Alcotest.test_case "session span + per-job track" `Quick
+          test_session_obs;
+      ] );
+  ]

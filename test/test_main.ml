@@ -8,4 +8,5 @@ let () =
    @ Test_codegen.suite @ Test_baselines.suite @ Test_extensions.suite
    @ Test_workloads.suite @ Test_suites.suite @ Test_fastpath.suite
    @ Test_difftest.suite @ Test_obs.suite @ Test_par.suite
-   @ Test_batch.suite @ Test_codec.suite @ Test_cache.suite)
+   @ Test_batch.suite @ Test_codec.suite @ Test_cache.suite
+   @ Test_exec.suite)
